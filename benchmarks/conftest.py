@@ -1,0 +1,101 @@
+"""Benchmark-suite fixtures: measured cost matrices, shared per session.
+
+Every bench in this directory derives its figure/table from the same
+per-dataset cost matrices, mirroring how the paper derives all of its
+evaluation from one measurement campaign.  Matrices are measured once
+per pytest session (a few minutes of pure Python in total) and reused.
+
+Rendered tables are accumulated and printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+every reproduced figure/table without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.harness import (
+    FTVExperimentConfig,
+    NFVExperimentConfig,
+    measure_ftv_matrix,
+    measure_nfv_matrix,
+)
+
+_REPORTS: list[str] = []
+
+
+def publish(table_or_text) -> None:
+    """Register a rendered table for the end-of-run report."""
+    text = (
+        table_or_text
+        if isinstance(table_or_text, str)
+        else table_or_text.render()
+    )
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep(
+        "=", "reproduced paper figures and tables"
+    )
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+def _timed(label: str, fn):
+    start = time.time()
+    out = fn()
+    publish(f"[measurement] {label}: {time.time() - start:.1f}s")
+    return out
+
+
+@pytest.fixture(scope="session")
+def yeast_matrix():
+    cfg = NFVExperimentConfig.default("yeast")
+    return _timed("yeast matrix", lambda: measure_nfv_matrix(cfg))
+
+
+@pytest.fixture(scope="session")
+def human_matrix():
+    cfg = NFVExperimentConfig.default("human")
+    return _timed("human matrix", lambda: measure_nfv_matrix(cfg))
+
+
+@pytest.fixture(scope="session")
+def wordnet_matrix():
+    cfg = NFVExperimentConfig.default("wordnet")
+    return _timed("wordnet matrix", lambda: measure_nfv_matrix(cfg))
+
+
+@pytest.fixture(scope="session")
+def ppi_matrix():
+    cfg = FTVExperimentConfig.default("ppi")
+    return _timed("ppi matrix", lambda: measure_ftv_matrix(cfg))
+
+
+@pytest.fixture(scope="session")
+def synthetic_matrix():
+    cfg = FTVExperimentConfig.default("synthetic")
+    return _timed(
+        "synthetic matrix", lambda: measure_ftv_matrix(cfg)
+    )
+
+
+@pytest.fixture(scope="session")
+def nfv_matrices(yeast_matrix, human_matrix, wordnet_matrix):
+    return {
+        "yeast": yeast_matrix,
+        "human": human_matrix,
+        "wordnet": wordnet_matrix,
+    }
+
+
+@pytest.fixture(scope="session")
+def ftv_matrices(ppi_matrix, synthetic_matrix):
+    return {"ppi": ppi_matrix, "synthetic": synthetic_matrix}

@@ -1,0 +1,84 @@
+"""Ablation — learned variant selection (the paper's §9 future work).
+
+Trains the :class:`VariantAdvisor` on the measured yeast cost matrix
+and evaluates, leave-one-out, racing only the top-k recommended
+variants instead of the full portfolio.  Expected shape: k=2 races
+preserve most of the full race's QLA speedup while spending a fraction
+of its total work (steps across all racing threads).
+"""
+
+from conftest import publish
+
+from repro.harness import Table
+from repro.psi import Variant, VariantAdvisor, query_features
+from repro.rewriting import LabelStats
+
+PORTFOLIO = tuple(
+    Variant(alg, rw)
+    for alg in ("GQL", "SPA")
+    for rw in ("Orig", "ILF", "DND")
+)
+
+
+def _costs(matrix, unit):
+    return {
+        v: matrix.charged(unit, v.algorithm, v.rewriting)
+        for v in PORTFOLIO
+    }
+
+
+def test_advisor_subset_races(yeast_matrix, benchmark):
+    m = yeast_matrix
+    from repro.harness import build_nfv_graph
+
+    graph = build_nfv_graph("yeast")
+    stats = LabelStats.of_graph(graph)
+    feats = [
+        query_features(q.graph, stats) for q in m.queries
+    ]
+    units = list(m.units)
+
+    def evaluate(k):
+        """Leave-one-out: race only the advisor's top-k variants."""
+        ratio_sum = 0.0
+        work_sum = 0
+        full_work_sum = 0
+        for u in units:
+            advisor = VariantAdvisor(PORTFOLIO, neighbors=5)
+            for v_unit in units:
+                if v_unit != u:
+                    advisor.observe(feats[v_unit], _costs(m, v_unit))
+            picked = advisor.recommend(feats[u], k=k)
+            costs = _costs(m, u)
+            subset_time = min(costs[v] for v in picked)
+            full_time = min(costs.values())
+            ratio_sum += full_time / subset_time
+            work_sum += sum(min(costs[v], subset_time) for v in picked)
+            full_work_sum += sum(
+                min(c, full_time) for c in costs.values()
+            )
+        n = len(units)
+        return ratio_sum / n, work_sum / n, full_work_sum / n
+
+    table = Table(
+        "Ablation: advisor-guided subset races (yeast, portfolio of "
+        f"{len(PORTFOLIO)})",
+        [
+            "k raced", "time preserved (QLA, 1.0 = full race)",
+            "avg work steps", "full-race work steps",
+        ],
+    )
+    preserved = {}
+    for k in (1, 2, 3):
+        quality, work, full_work = evaluate(k)
+        preserved[k] = quality
+        table.add_row(k, quality, work, full_work)
+    publish(table)
+
+    # racing more predicted variants can only close the gap
+    assert preserved[1] <= preserved[2] + 1e-9 or preserved[1] > 0.9
+    assert preserved[3] >= preserved[1] - 1e-9
+    # k=2 should already preserve the bulk of the full race's time
+    assert preserved[2] > 0.5
+
+    benchmark(lambda: evaluate(2))

@@ -1,0 +1,66 @@
+"""Extension — widening the Ψ portfolio with TurboISO.
+
+The paper anticipates newer algorithms (its ref [6] is TurboISO) and
+argues its framework subsumes them: a better algorithm is just another
+thread to race.  This bench measures a yeast matrix with TurboISO added
+to the roster and compares Ψ([GQL/SPA]) against Ψ([GQL/SPA/TUR]).
+Expected shape: TurboISO alone still has hard queries (the paper's
+"all algorithms show exponential execution times" claim), and adding it
+to the race never hurts beyond overhead.
+"""
+
+from conftest import publish
+
+from repro.harness import (
+    NFVExperimentConfig,
+    Table,
+    WorkloadSpec,
+    band_percentages_table,
+    measure_nfv_matrix,
+    psi_race_time,
+)
+from repro.metrics import Thresholds
+from repro.psi import OverheadModel
+
+
+def test_turbo_portfolio(benchmark):
+    cfg = NFVExperimentConfig(
+        dataset="yeast",
+        workload=WorkloadSpec(sizes=(8, 16, 24), queries_per_size=5),
+        thresholds=Thresholds(easy_steps=2_000, budget_steps=200_000),
+        algorithms_override=("GQL", "SPA", "TUR"),
+    )
+    m = measure_nfv_matrix(cfg, variant_names=("Orig",))
+    publish(band_percentages_table(
+        m, "Extension: yeast bands with TurboISO in the roster"
+    ))
+
+    overhead = OverheadModel(per_variant_steps=32)
+    two = [("GQL", "Orig"), ("SPA", "Orig")]
+    three = two + [("TUR", "Orig")]
+    table = Table(
+        "Extension: Psi([GQL/SPA]) vs Psi([GQL/SPA/TUR]), yeast",
+        ["unit pool", "avg race steps 2-alg", "avg race steps 3-alg"],
+    )
+    t2 = [psi_race_time(m, u, two, overhead)[0] for u in m.units]
+    t3 = [psi_race_time(m, u, three, overhead)[0] for u in m.units]
+    table.add_row(
+        f"{len(m.queries)} queries",
+        sum(t2) / len(t2),
+        sum(t3) / len(t3),
+    )
+    publish(table)
+
+    # racing one more algorithm costs only its overhead
+    slack = overhead.per_variant_steps * 2
+    assert sum(t3) <= sum(t2) + slack * len(t3)
+    # TurboISO is not a silver bullet: it must not dominate every unit
+    tur_wins = sum(
+        1
+        for u in m.units
+        if m.charged(u, "TUR", "Orig")
+        < min(m.charged(u, "GQL", "Orig"), m.charged(u, "SPA", "Orig"))
+    )
+    assert tur_wins < len(list(m.units))
+
+    benchmark(lambda: [psi_race_time(m, u, three, overhead) for u in m.units])

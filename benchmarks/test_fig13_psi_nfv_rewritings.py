@@ -1,0 +1,32 @@
+"""Fig. 13 — Ψ-framework with rewriting variants on the NFV methods.
+
+Paper: speedup*QLA of racing the original plus 2-5 rewritings per
+algorithm, on yeast, human, wordnet.  Expected shape: every set's
+speedup >= 1 (the original is always in the race, so Ψ can only lose
+the overhead), GraphQL benefits least, and the largest improvements
+appear on the denser/better-labeled datasets.
+"""
+
+from conftest import publish
+
+from repro.harness import PSI_NFV_REWRITING_SETS, psi_speedup_table
+
+
+def test_fig13(nfv_matrices, benchmark):
+    benchmark(
+        lambda: psi_speedup_table(
+            nfv_matrices["yeast"], "bench", PSI_NFV_REWRITING_SETS[:1]
+        )
+    )
+    for name, m in nfv_matrices.items():
+        table = psi_speedup_table(
+            m,
+            f"Fig 13: {name}, Psi speedup*QLA (Orig + rewritings)",
+            PSI_NFV_REWRITING_SETS,
+            mode="qla",
+        )
+        publish(table)
+        for method in m.methods:
+            col = table.column(method)
+            # with Orig in every set, Psi loses only race overhead
+            assert min(col) > 0.9

@@ -1,0 +1,55 @@
+"""Fig. 1 — stragglers in FTV methods.
+
+Paper: (a) synthetic and (b) PPI WLA-average execution times of easy /
+2''-600'' / completed queries for Grapes/1, Grapes/4 (and GGSX on PPI);
+(c) percentages of easy, 2''-600'' and hard queries.  Expected shape:
+the completed average sits far above the easy average (stragglers
+dominate), and Grapes/4 has a smaller hard share than Grapes/1.
+"""
+
+from conftest import publish
+
+from repro.harness import band_percentages_table, stragglers_wla_table
+
+
+def test_fig1a_synthetic_wla(synthetic_matrix, benchmark):
+    m = synthetic_matrix
+    benchmark(lambda: stragglers_wla_table(m, "bench"))
+    table = stragglers_wla_table(
+        m, "Fig 1(a): synthetic, WLA-avg exec steps per band"
+    )
+    publish(table)
+    easy = table.column("easy")
+    completed = table.column("completed")
+    for e, c in zip(easy, completed):
+        assert c >= e  # stragglers pull the completed average up
+
+
+def test_fig1b_ppi_wla(ppi_matrix, benchmark):
+    m = ppi_matrix
+    benchmark(lambda: stragglers_wla_table(m, "bench"))
+    table = stragglers_wla_table(
+        m, "Fig 1(b): PPI, WLA-avg exec steps per band"
+    )
+    publish(table)
+    assert set(table.column("method")) == {
+        "Grapes/1", "Grapes/4", "GGSX"
+    }
+
+
+def test_fig1c_band_percentages(synthetic_matrix, ppi_matrix, benchmark):
+    benchmark(
+        lambda: band_percentages_table(ppi_matrix, "bench")
+    )
+    for name, m in (
+        ("synthetic", synthetic_matrix), ("PPI", ppi_matrix)
+    ):
+        table = band_percentages_table(
+            m, f"Fig 1(c): {name}, % of easy / 2''-600'' / hard"
+        )
+        publish(table)
+        pct = {
+            row[0]: row[1] + row[2] + row[3] for row in table.rows
+        }
+        for method, total in pct.items():
+            assert abs(total - 100.0) < 1e-6, method

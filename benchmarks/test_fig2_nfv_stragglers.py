@@ -1,0 +1,50 @@
+"""Fig. 2 — stragglers in NFV methods.
+
+Paper: WLA-average execution times per band for GraphQL, sPath (and
+QuickSI on yeast) over yeast, human, wordnet, plus the band
+percentages.  Expected shape: completed averages dominated by the most
+expensive queries; different algorithms show different hard-query
+shares on different datasets.
+"""
+
+from conftest import publish
+
+from repro.harness import band_percentages_table, stragglers_wla_table
+
+
+def test_fig2abc_wla(nfv_matrices, benchmark):
+    benchmark(
+        lambda: stragglers_wla_table(nfv_matrices["yeast"], "bench")
+    )
+    panel = {"yeast": "2(a)", "human": "2(b)", "wordnet": "2(c)"}
+    for name, m in nfv_matrices.items():
+        table = stragglers_wla_table(
+            m, f"Fig {panel[name]}: {name}, WLA-avg exec steps per band"
+        )
+        publish(table)
+        easy = table.column("easy")
+        completed = table.column("completed")
+        for e, c in zip(easy, completed):
+            if c == c and e == e:  # skip NaN bands
+                assert c >= e
+
+
+def test_fig2d_band_percentages(nfv_matrices, benchmark):
+    benchmark(
+        lambda: band_percentages_table(nfv_matrices["yeast"], "bench")
+    )
+    hard_share = {}
+    for name, m in nfv_matrices.items():
+        table = band_percentages_table(
+            m, f"Fig 2(d): {name}, % of easy / 2''-600'' / hard"
+        )
+        publish(table)
+        for row in table.rows:
+            hard_share[(name, row[0])] = row[3]
+    # paper's observation 5 precondition: hard shares differ between
+    # algorithms on the same dataset (stragglers are algorithm-specific)
+    differs = any(
+        hard_share[(ds, "GQL")] != hard_share[(ds, "SPA")]
+        for ds in ("yeast", "human", "wordnet")
+    )
+    assert differs

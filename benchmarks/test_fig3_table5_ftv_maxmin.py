@@ -1,0 +1,32 @@
+"""Fig. 3 + Table 5 — (max/min)QLA over isomorphic instances, FTV.
+
+Paper: across 6 isomorphic instances per query, the ratio of the
+slowest to the fastest instance, with avg/stdDev/min/max/median per
+method.  Expected shape: large average ratios with stdDev >> mean and
+median much closer to the min — i.e. wild but skewed variance
+(the paper reports FTV averages in the thousands-to-millions range;
+at this reproduction's compressed budget scale the ratios compress
+proportionally, see EXPERIMENTS.md).
+"""
+
+from conftest import publish
+
+from repro.harness import maxmin_table
+
+
+def test_fig3_table5(ftv_matrices, benchmark):
+    benchmark(lambda: maxmin_table(ftv_matrices["ppi"], "bench"))
+    for name, m in ftv_matrices.items():
+        table = maxmin_table(
+            m,
+            f"Fig 3 / Table 5: {name}, (max/min)QLA over 6 isomorphic "
+            "instances",
+        )
+        publish(table)
+        for row in table.rows:
+            method, avg, _stddev, mn, mx, median = row[:6]
+            assert mx >= avg >= mn >= 1.0
+            # skew: the median hugs the low end, as in the paper
+            assert median <= avg
+        # the variance must be non-trivial for at least one method
+        assert max(row[1] for row in table.rows) > 2.0

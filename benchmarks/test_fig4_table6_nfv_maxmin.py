@@ -1,0 +1,35 @@
+"""Fig. 4 + Table 6 — (max/min)QLA over isomorphic instances, NFV.
+
+Paper: same metric as Fig. 3 for GraphQL/sPath/QuickSI.  Expected
+shape: ratios up to a couple of orders of magnitude lower than the FTV
+ones (NFV methods impose stricter matching orders), with GraphQL the
+least ID-sensitive of the three.
+"""
+
+import statistics
+
+from conftest import publish
+
+from repro.harness import maxmin_table
+
+
+def test_fig4_table6(nfv_matrices, ftv_matrices, benchmark):
+    benchmark(lambda: maxmin_table(nfv_matrices["yeast"], "bench"))
+    nfv_avgs = []
+    for name, m in nfv_matrices.items():
+        table = maxmin_table(
+            m,
+            f"Fig 4 / Table 6: {name}, (max/min)QLA over 6 isomorphic "
+            "instances",
+        )
+        publish(table)
+        for row in table.rows:
+            if isinstance(row[1], float):
+                nfv_avgs.append(row[1])
+            assert row[3] >= 1.0  # min of the ratio is 1 by definition
+    ftv_table = maxmin_table(ftv_matrices["ppi"], "unpublished")
+    ftv_avg = statistics.mean(
+        row[1] for row in ftv_table.rows if isinstance(row[1], float)
+    )
+    # the paper's cross-family observation: FTV variance >> NFV variance
+    assert ftv_avg > statistics.mean(nfv_avgs)

@@ -1,0 +1,60 @@
+"""Observation 5, quantified — straggler-set overlap between algorithms.
+
+The paper's Observation 5 ("stragglers are algorithm-specific") is the
+load-bearing premise of multi-algorithm racing, but the paper
+demonstrates it only through speedup numbers.  This bench measures it
+directly: the Jaccard overlap of the per-algorithm hard sets, plus the
+winner-attribution of the [GQL/SPA] race.  Expected shape: overlaps
+well below 1 wherever racing helps (Fig 14/15), and both algorithms
+winning non-trivial shares of races.
+"""
+
+from conftest import publish
+
+from repro.harness import (
+    hard_overlap_table,
+    hard_set,
+    winner_attribution_table,
+)
+
+
+def test_hard_set_overlap(nfv_matrices, benchmark):
+    benchmark(lambda: hard_overlap_table(nfv_matrices["yeast"]))
+    for name, m in nfv_matrices.items():
+        table = hard_overlap_table(
+            m, f"Observation 5: {name}, hard-set overlap (Jaccard)"
+        )
+        publish(table)
+        gql_hard = hard_set(m, "GQL")
+        spa_hard = hard_set(m, "SPA")
+        if gql_hard or spa_hard:
+            overlap = len(gql_hard & spa_hard) / len(
+                gql_hard | spa_hard
+            )
+            # racing helps exactly when the hard sets don't coincide
+            assert overlap < 1.0
+
+
+def test_winner_attribution(nfv_matrices, benchmark):
+    m = nfv_matrices["yeast"]
+    members = [("GQL", "Orig"), ("SPA", "Orig")]
+    benchmark(lambda: winner_attribution_table(m, members))
+    for name, matrix in nfv_matrices.items():
+        table = winner_attribution_table(
+            matrix,
+            members,
+            f"Observation 5: {name}, [GQL/SPA] race winner shares",
+        )
+        publish(table)
+        wins = {row[0]: row[1] for row in table.rows}
+        total = sum(wins.values())
+        assert total > 0
+    # across the three datasets both algorithms must win somewhere:
+    # no single algorithm dominates every dataset (paper §4 conclusion)
+    shares = {"GQL-Orig": 0, "SPA-Orig": 0}
+    for matrix in nfv_matrices.values():
+        t = winner_attribution_table(matrix, members, "x")
+        for row in t.rows:
+            shares[row[0]] += row[1]
+    assert shares["GQL-Orig"] > 0
+    assert shares["SPA-Orig"] > 0

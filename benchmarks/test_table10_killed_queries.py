@@ -1,0 +1,33 @@
+"""Table 10 — percentage of killed queries, baselines vs Ψ.
+
+Paper: Grapes/4 on PPI and GraphQL/sPath on yeast/human/wordnet vs the
+Ψ-framework (Grapes/1 × 4 rewritings for FTV; [GQL/SPA]-[Or/DND] for
+NFV).  Expected shape: Ψ strictly reduces the killed percentage, often
+to zero — "hard queries became extinct".
+"""
+
+from conftest import publish
+
+from repro.harness import killed_pct_table
+
+
+def test_table10(nfv_matrices, ppi_matrix, benchmark):
+    ftv_members = [
+        ("Grapes/1", rw) for rw in ("ILF", "IND", "DND", "ILF+IND")
+    ]
+    nfv_members = [
+        (alg, rw) for alg in ("GQL", "SPA") for rw in ("Orig", "DND")
+    ]
+    entries = [("PPI", "Grapes/4", ppi_matrix, ftv_members)]
+    for name, m in nfv_matrices.items():
+        entries.append((name, "GQL", m, nfv_members))
+        entries.append((name, "SPA", m, nfv_members))
+    benchmark(lambda: killed_pct_table(entries))
+    table = killed_pct_table(
+        entries,
+        title="Table 10: % of killed queries, baseline vs Psi",
+    )
+    publish(table)
+    for row in table.rows:
+        label, _baseline, base_killed, psi_killed = row
+        assert psi_killed <= base_killed, label

@@ -1,0 +1,79 @@
+"""A tour of the paper's query rewritings (reproduces Fig. 5).
+
+Recreates the paper's running example — a 7-vertex query with labels
+A, A, A, B, B, C and C against a stored graph where f(A)=20, f(B)=15,
+f(C)=10 — prints the node-ID assignment of every rewriting, and then
+shows on a real stored graph how the rewritings change VF2's cost while
+preserving the answer.
+
+Run:  python examples/rewritings_tour.py
+"""
+
+from collections import Counter
+
+from repro.datasets import yeast_like
+from repro.graphs import LabeledGraph
+from repro.matching import VF2Matcher
+from repro.rewriting import (
+    ALL_PAPER_REWRITINGS,
+    LabelStats,
+    make_rewriting,
+)
+from repro.workload import generate_workload
+
+
+def fig5_query() -> LabeledGraph:
+    """The Fig. 5 example query (structure as drawn in the paper)."""
+    g = LabeledGraph(7, ["A", "A", "A", "B", "B", "C", "C"])
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 4)
+    g.add_edge(3, 5)
+    g.add_edge(4, 6)
+    return g
+
+
+def main() -> None:
+    query = fig5_query()
+    stats = LabelStats(Counter({"A": 20, "B": 15, "C": 10}))
+
+    print("Fig. 5 example: stored-graph label frequencies "
+          "A=20, B=15, C=10\n")
+    print("original query (node id: label/degree):")
+    for v in query.vertices():
+        print(f"  {v}: {query.label(v)}/{query.degree(v)}")
+
+    for name in ALL_PAPER_REWRITINGS:
+        rq = make_rewriting(name).apply(query, stats)
+        g = rq.graph
+        ordered = ", ".join(
+            f"{v}:{g.label(v)}/{g.degree(v)}" for v in g.vertices()
+        )
+        print(f"\n{name:8} -> {ordered}")
+        print(f"{'':8}    perm (old->new): {rq.perm}")
+
+    # ------------------------------------------------------------------
+    # effect on a real store: same answer, different cost
+    # ------------------------------------------------------------------
+    graph = yeast_like(n=400, num_labels=30)
+    [wq] = generate_workload([graph], 1, 12, seed=9)
+    stats = LabelStats.of_graph(graph)
+    matcher = VF2Matcher()
+    print("\nVF2 on a yeast-like store, 12-edge workload query:")
+    print(f"  {'rewriting':10} {'steps':>9}  embeddings")
+    for name in ("Orig",) + ALL_PAPER_REWRITINGS:
+        rq = make_rewriting(name).apply(wq.graph, stats)
+        out = matcher.run(
+            graph, rq.graph, max_embeddings=1000, count_only=True
+        )
+        print(f"  {name:10} {out.steps:>9}  {out.num_embeddings}")
+    print(
+        "\nSame answer every time; the cost varies with the node-ID "
+        "assignment.\nThat variance is what the Psi-framework races."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,459 @@
+"""Command-line interface.
+
+Five subcommands cover the library's everyday entry points::
+
+    python -m repro datasets   [--scale tiny]
+    python -m repro workload   --dataset yeast --size 8 --count 5
+    python -m repro match      --dataset yeast --algorithm GQL --size 8
+    python -m repro race       --dataset yeast --size 12 \
+                               --algorithms GQL,SPA --rewritings Orig,DND
+    python -m repro experiment --name fig2 [--scale tiny]
+
+``experiment`` regenerates a paper figure/table by name (the same
+drivers the benchmark suite uses); at ``--scale tiny`` it answers in
+seconds, at the default scale it reproduces the benchmark numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .datasets import summarize_collection, summarize_graph
+from .graphs import dumps_gfu
+from .harness import (
+    FTVExperimentConfig,
+    NFVExperimentConfig,
+    diagnose_straggler,
+    hard_overlap_table,
+    winner_attribution_table,
+    PSI_FTV_VARIANT_SETS,
+    PSI_NFV_MULTIALG_SETS,
+    PSI_NFV_REWRITING_SETS,
+    Table,
+    alt_algorithm_speedup_table,
+    band_percentages_table,
+    build_ftv_graphs,
+    build_nfv_graph,
+    grapes_psi_by_size_table,
+    maxmin_table,
+    measure_ftv_matrix,
+    measure_nfv_matrix,
+    psi_multialg_speedup_table,
+    psi_speedup_table,
+    rewriting_aet_table,
+    rewriting_hard_pct_table,
+    rewriting_speedup_table,
+    size_breakdown_table,
+    stragglers_wla_table,
+)
+from .matching import Budget, available_matchers, make_matcher
+from .psi import PsiNFV, Variant
+from .workload import generate_workload
+
+NFV_DATASETS = ("yeast", "human", "wordnet")
+FTV_DATASETS = ("ppi", "synthetic")
+
+__all__ = ["main", "build_parser"]
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    """Print Table 1/2-style summaries of every dataset stand-in."""
+    table = Table(
+        f"NFV datasets ({args.scale} scale)",
+        ["statistic"] + list(NFV_DATASETS),
+    )
+    summaries = {
+        name: dict(
+            summarize_graph(build_nfv_graph(name, args.scale)).as_rows()
+        )
+        for name in NFV_DATASETS
+    }
+    for stat in next(iter(summaries.values())):
+        table.add_row(
+            stat, *(summaries[n][stat] for n in NFV_DATASETS)
+        )
+    _print(table.render())
+
+    ftable = Table(
+        f"FTV datasets ({args.scale} scale)",
+        ["statistic"] + list(FTV_DATASETS),
+    )
+    fsummaries = {
+        name: dict(
+            summarize_collection(
+                build_ftv_graphs(name, args.scale)
+            ).as_rows()
+        )
+        for name in FTV_DATASETS
+    }
+    for stat in next(iter(fsummaries.values())):
+        ftable.add_row(
+            stat, *(fsummaries[n][stat] for n in FTV_DATASETS)
+        )
+    _print("")
+    _print(ftable.render())
+    return 0
+
+
+def _load_graphs(dataset: str, scale: str):
+    if dataset in NFV_DATASETS:
+        return [build_nfv_graph(dataset, scale)]
+    if dataset in FTV_DATASETS:
+        return build_ftv_graphs(dataset, scale)
+    raise SystemExit(f"unknown dataset {dataset!r}")
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Generate a query workload; print it or save it as GFU."""
+    graphs = _load_graphs(args.dataset, args.scale)
+    queries = generate_workload(
+        graphs, args.count, args.size, seed=args.seed
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dumps_gfu([q.graph for q in queries]))
+        _print(f"wrote {len(queries)} queries to {args.out}")
+        return 0
+    table = Table(
+        f"workload: {args.count} x {args.size}-edge queries on "
+        f"{args.dataset}",
+        ["query", "vertices", "edges", "labels", "source graph"],
+    )
+    for q in queries:
+        table.add_row(
+            q.name, q.graph.order, q.graph.size,
+            len(q.graph.distinct_labels()), q.source_graph_id,
+        )
+    _print(table.render())
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    """Run one matcher on one generated query and report its cost."""
+    graphs = _load_graphs(args.dataset, args.scale)
+    [query] = generate_workload(graphs, 1, args.size, seed=args.seed)
+    matcher = make_matcher(args.algorithm)
+    budget = Budget(max_steps=args.budget) if args.budget else None
+    out = matcher.run(
+        graphs[query.source_graph_id],
+        query.graph,
+        budget=budget,
+        max_embeddings=args.max_embeddings,
+        count_only=True,
+    )
+    status = "killed" if out.killed else "completed"
+    _print(
+        f"{matcher.name} on {args.dataset} ({args.size}-edge query, "
+        f"seed {args.seed}): {out.num_embeddings} embeddings in "
+        f"{out.steps} steps [{status}]"
+    )
+    return 0
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    """Race (algorithm x rewriting) variants on one generated query."""
+    if args.dataset not in NFV_DATASETS:
+        raise SystemExit("race runs on NFV datasets (single graph)")
+    graph = build_nfv_graph(args.dataset, args.scale)
+    [query] = generate_workload([graph], 1, args.size, seed=args.seed)
+    algorithms = args.algorithms.split(",")
+    rewritings = args.rewritings.split(",")
+    variants = [
+        Variant(a.strip(), r.strip())
+        for a in algorithms
+        for r in rewritings
+    ]
+    psi = PsiNFV(graph)
+    budget = Budget(max_steps=args.budget) if args.budget else None
+    result = psi.race(
+        query.graph, variants, budget=budget,
+        max_embeddings=args.max_embeddings, count_only=True,
+    )
+    table = Table(
+        f"Psi race on {args.dataset} ({args.size}-edge query)",
+        ["variant", "steps at kill/finish"],
+    )
+    for v, steps in result.race.per_variant_steps.items():
+        marker = " <- winner" if v == result.winner else ""
+        table.add_row(f"{v}{marker}", steps)
+    _print(table.render())
+    _print(
+        f"race time {result.steps} steps "
+        f"(overhead {result.race.overhead_steps}); "
+        f"found={result.found}"
+    )
+    return 0
+
+
+def _nfv_experiment(name: str, dataset: str, scale: str) -> list[Table]:
+    cfg = (
+        NFVExperimentConfig.tiny(dataset)
+        if scale == "tiny"
+        else NFVExperimentConfig.default(dataset)
+    )
+    m = measure_nfv_matrix(cfg, scale=scale)
+    yeast_sets = [
+        ("yeast2alg", ("GQL", "SPA")),
+        ("yeast3alg", ("GQL", "SPA", "QSI")),
+    ]
+    two_alg = [("2alg", ("GQL", "SPA"))]
+    drivers = {
+        "fig2": lambda: [
+            stragglers_wla_table(m, f"Fig 2: {dataset}"),
+            band_percentages_table(m, f"Fig 2(d): {dataset}"),
+        ],
+        "table3": lambda: [
+            size_breakdown_table(m, f"Table 3/4: {dataset}")
+        ],
+        "fig4": lambda: [maxmin_table(m, f"Fig 4 / Table 6: {dataset}")],
+        "fig6nfv": lambda: [
+            rewriting_aet_table(m, f"Fig 6(c): {dataset}"),
+            rewriting_hard_pct_table(m, f"Fig 6(d): {dataset}"),
+        ],
+        "fig8": lambda: [
+            rewriting_speedup_table(m, f"Fig 8 / Table 8: {dataset}")
+        ],
+        "fig9": lambda: [
+            alt_algorithm_speedup_table(
+                m, f"Fig 9 / Table 9: {dataset}",
+                yeast_sets if dataset == "yeast" else two_alg,
+            )
+        ],
+        "fig13": lambda: [
+            psi_speedup_table(
+                m, f"Fig 13: {dataset}", PSI_NFV_REWRITING_SETS
+            )
+        ],
+        "fig14": lambda: [
+            psi_multialg_speedup_table(
+                m, f"Fig 14: {dataset} vs {base}",
+                PSI_NFV_MULTIALG_SETS, baseline=base,
+            )
+            for base in ("GQL", "SPA")
+        ],
+        "fig15": lambda: [
+            psi_multialg_speedup_table(
+                m, f"Fig 15: {dataset} vs {base}",
+                PSI_NFV_MULTIALG_SETS, baseline=base, mode="wla",
+            )
+            for base in ("GQL", "SPA")
+        ],
+    }
+    return drivers[name]()
+
+
+def _ftv_experiment(name: str, dataset: str, scale: str) -> list[Table]:
+    cfg = (
+        FTVExperimentConfig.tiny(dataset)
+        if scale == "tiny"
+        else FTVExperimentConfig.default(dataset)
+    )
+    m = measure_ftv_matrix(cfg, scale=scale)
+    drivers = {
+        "fig1": lambda: [
+            stragglers_wla_table(m, f"Fig 1: {dataset}"),
+            band_percentages_table(m, f"Fig 1(c): {dataset}"),
+        ],
+        "fig3": lambda: [maxmin_table(m, f"Fig 3 / Table 5: {dataset}")],
+        "fig6ftv": lambda: [
+            rewriting_aet_table(m, f"Fig 6(a): {dataset}"),
+            rewriting_hard_pct_table(m, f"Fig 6(b): {dataset}"),
+        ],
+        "fig7": lambda: [
+            rewriting_speedup_table(m, f"Fig 7 / Table 7: {dataset}")
+        ],
+        "fig10": lambda: [
+            psi_speedup_table(
+                m, f"Fig 10: {dataset}", PSI_FTV_VARIANT_SETS
+            )
+        ],
+        "fig11": lambda: [
+            psi_speedup_table(
+                m, f"Fig 11: {dataset}", PSI_FTV_VARIANT_SETS,
+                mode="wla",
+            )
+        ],
+        "fig12": lambda: [
+            grapes_psi_by_size_table(m, f"Fig 12: {dataset}")
+        ],
+    }
+    return drivers[name]()
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Measure a matrix and print the Observation-5 analysis."""
+    if args.dataset not in NFV_DATASETS:
+        raise SystemExit("analyze runs on NFV datasets")
+    cfg = (
+        NFVExperimentConfig.tiny(args.dataset)
+        if args.scale == "tiny"
+        else NFVExperimentConfig.default(args.dataset)
+    )
+    m = measure_nfv_matrix(cfg, scale=args.scale)
+    _print(
+        hard_overlap_table(
+            m,
+            f"{args.dataset}: hard-set overlap between algorithms",
+        ).render()
+    )
+    members = [(alg, "Orig") for alg in m.methods]
+    _print("")
+    _print(
+        winner_attribution_table(
+            m, members, f"{args.dataset}: race winner attribution"
+        ).render()
+    )
+    # diagnose the worst straggler of each algorithm
+    for alg in m.methods:
+        worst = max(
+            m.units, key=lambda u: m.charged(u, alg, "Orig")
+        )
+        d = diagnose_straggler(m, worst, alg)
+        _print("")
+        _print(
+            f"worst unit for {alg}: query "
+            f"{m.queries[worst].name} at {d.baseline_steps} steps"
+        )
+        if d.rescued:
+            best = d.rescuers[0]
+            _print(
+                f"  cheapest rescue: {best[0]}-{best[1]} at "
+                f"{best[2]} steps ({d.best_speedup:.1f}x); "
+                f"Psi race time {d.psi_steps} steps"
+            )
+        else:
+            _print("  no measured attempt completes this unit")
+    return 0
+
+
+NFV_EXPERIMENTS = (
+    "fig2", "table3", "fig4", "fig6nfv", "fig8", "fig9", "fig13",
+    "fig14", "fig15",
+)
+FTV_EXPERIMENTS = (
+    "fig1", "fig3", "fig6ftv", "fig7", "fig10", "fig11", "fig12",
+)
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate a paper figure/table by name."""
+    name = args.name
+    if name in NFV_EXPERIMENTS:
+        dataset = args.dataset or "yeast"
+        if dataset not in NFV_DATASETS:
+            raise SystemExit(f"{name} needs an NFV dataset")
+        tables = _nfv_experiment(name, dataset, args.scale)
+    elif name in FTV_EXPERIMENTS:
+        dataset = args.dataset or "ppi"
+        if dataset not in FTV_DATASETS:
+            raise SystemExit(f"{name} needs an FTV dataset")
+        tables = _ftv_experiment(name, dataset, args.scale)
+    else:
+        known = ", ".join(NFV_EXPERIMENTS + FTV_EXPERIMENTS)
+        raise SystemExit(f"unknown experiment {name!r}; known: {known}")
+    for t in tables:
+        _print(t.render())
+        _print("")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Subgraph querying with parallel use of query rewritings "
+            "and alternative algorithms (EDBT 2017 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="summarize the dataset stand-ins")
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="default")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("workload", help="generate a query workload")
+    p.add_argument("--dataset", required=True,
+                   choices=NFV_DATASETS + FTV_DATASETS)
+    p.add_argument("--size", type=int, default=8,
+                   help="query size in edges")
+    p.add_argument("--count", type=int, default=5)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="default")
+    p.add_argument("--out", help="write queries to a GFU file")
+    p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("match", help="run one matcher on one query")
+    p.add_argument("--dataset", required=True,
+                   choices=NFV_DATASETS + FTV_DATASETS)
+    p.add_argument("--algorithm", default="GQL",
+                   choices=available_matchers())
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--budget", type=int, default=200_000,
+                   help="step cap (0 = unlimited)")
+    p.add_argument("--max-embeddings", type=int, default=1000)
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="default")
+    p.set_defaults(fn=cmd_match)
+
+    p = sub.add_parser("race", help="run a Psi race on one query")
+    p.add_argument("--dataset", required=True, choices=NFV_DATASETS)
+    p.add_argument("--algorithms", default="GQL,SPA",
+                   help="comma-separated matcher names")
+    p.add_argument("--rewritings", default="Orig,DND",
+                   help="comma-separated rewriting names")
+    p.add_argument("--size", type=int, default=8)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--budget", type=int, default=200_000)
+    p.add_argument("--max-embeddings", type=int, default=1000)
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="default")
+    p.set_defaults(fn=cmd_race)
+
+    p = sub.add_parser(
+        "analyze",
+        help="straggler overlap / winner attribution / diagnoses",
+    )
+    p.add_argument("--dataset", default="yeast", choices=NFV_DATASETS)
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="tiny")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    p.add_argument("--name", required=True,
+                   choices=NFV_EXPERIMENTS + FTV_EXPERIMENTS)
+    p.add_argument("--dataset", help="dataset override")
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="tiny")
+    p.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

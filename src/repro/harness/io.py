@@ -1,0 +1,135 @@
+"""Persistence for measured cost matrices and result tables.
+
+A default-scale measurement campaign takes minutes; saving the matrix
+lets every experiment driver (and any post-hoc analysis) replay from
+disk.  The JSON format is self-contained: it round-trips the queries
+themselves (so ``unit_size`` and future drivers keep working), the
+thresholds, and every cost record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..graphs import graph_from_json, graph_to_json
+from ..metrics import CostRecord, Thresholds
+from ..workload import Query
+from .runner import FTVCostMatrix, NFVCostMatrix
+from .tables import Table
+
+__all__ = [
+    "save_matrix",
+    "load_matrix",
+    "table_to_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _queries_payload(queries: list[Query]) -> list[dict]:
+    return [
+        {
+            "graph": graph_to_json(q.graph),
+            "source_graph_id": q.source_graph_id,
+            "num_edges": q.num_edges,
+            "seed": q.seed,
+        }
+        for q in queries
+    ]
+
+
+def _queries_from_payload(payload: list[dict]) -> list[Query]:
+    return [
+        Query(
+            graph=graph_from_json(item["graph"]),
+            source_graph_id=item["source_graph_id"],
+            num_edges=item["num_edges"],
+            seed=item["seed"],
+        )
+        for item in payload
+    ]
+
+
+def _records_payload(records: dict) -> list[list]:
+    return [
+        [unit, method, variant, rec.steps, rec.found, rec.killed]
+        for (unit, method, variant), rec in sorted(
+            records.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        )
+    ]
+
+
+def _records_from_payload(payload: list[list]) -> dict:
+    return {
+        (unit, method, variant): CostRecord(
+            steps=steps, found=found, killed=killed
+        )
+        for unit, method, variant, steps, found, killed in payload
+    }
+
+
+def save_matrix(
+    path: str | Path, matrix: NFVCostMatrix | FTVCostMatrix
+) -> None:
+    """Serialize a cost matrix to a JSON file."""
+    payload: dict = {
+        "format_version": _FORMAT_VERSION,
+        "kind": (
+            "nfv" if isinstance(matrix, NFVCostMatrix) else "ftv"
+        ),
+        "dataset": matrix.dataset,
+        "thresholds": {
+            "easy_steps": matrix.thresholds.easy_steps,
+            "budget_steps": matrix.thresholds.budget_steps,
+        },
+        "methods": list(matrix.methods),
+        "variant_names": list(matrix.variant_names),
+        "queries": _queries_payload(matrix.queries),
+        "records": _records_payload(matrix.records),
+    }
+    if isinstance(matrix, FTVCostMatrix):
+        payload["pairs"] = [list(p) for p in matrix.pairs]
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_matrix(path: str | Path) -> NFVCostMatrix | FTVCostMatrix:
+    """Inverse of :func:`save_matrix`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported matrix format version {version!r}"
+        )
+    thresholds = Thresholds(
+        easy_steps=payload["thresholds"]["easy_steps"],
+        budget_steps=payload["thresholds"]["budget_steps"],
+    )
+    common = dict(
+        dataset=payload["dataset"],
+        thresholds=thresholds,
+        queries=_queries_from_payload(payload["queries"]),
+        methods=tuple(payload["methods"]),
+        variant_names=tuple(payload["variant_names"]),
+        records=_records_from_payload(payload["records"]),
+    )
+    if payload["kind"] == "nfv":
+        return NFVCostMatrix(**common)
+    if payload["kind"] == "ftv":
+        return FTVCostMatrix(
+            pairs=[tuple(p) for p in payload["pairs"]], **common
+        )
+    raise ValueError(f"unknown matrix kind {payload['kind']!r}")
+
+
+def table_to_json(table: Table) -> str:
+    """JSON encoding of a result table (title, columns, rows, notes)."""
+    return json.dumps(
+        {
+            "title": table.title,
+            "columns": table.columns,
+            "rows": table.rows,
+            "notes": table.notes,
+        },
+        sort_keys=True,
+    )

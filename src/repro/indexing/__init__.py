@@ -1,0 +1,26 @@
+"""FTV (filter-then-verify) indexed subgraph query processing.
+
+Grapes and GGSX, the two FTV methods the paper identified as the best
+performers in its earlier study [9], plus the shared path-feature and
+trie machinery.
+"""
+
+from .base import FTVIndex, FTVQueryResult, VerificationReport
+from .features import PathCensus, canonical_sequence, label_path_census
+from .ggsx import GGSXIndex
+from .grapes import GrapesIndex
+from .trie import PathTrie, Posting, SuffixTrie
+
+__all__ = [
+    "FTVIndex",
+    "FTVQueryResult",
+    "VerificationReport",
+    "PathCensus",
+    "canonical_sequence",
+    "label_path_census",
+    "GGSXIndex",
+    "GrapesIndex",
+    "PathTrie",
+    "Posting",
+    "SuffixTrie",
+]

@@ -1,0 +1,165 @@
+"""FTV method base: filter-then-verify over a graph collection.
+
+FTV methods (paper §2.1) answer the *decision* problem: given a dataset
+of many graphs and a query, which graphs contain the query?  They work
+in two stages — an offline index over path features, and online
+filtering + VF2 verification.  The paper's performance metrics count
+**pure sub-iso (verification) time only** ("excluding the index loading
+and filtering times, which add only a trivial overhead", §3.5); this
+base class follows that convention: :meth:`verify` reports only VF2
+steps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs import LabeledGraph
+from ..matching import Budget, GraphIndex, MatchOutcome, VF2Matcher
+from .features import PathCensus, label_path_census
+
+__all__ = ["FTVIndex", "VerificationReport", "FTVQueryResult"]
+
+
+@dataclass
+class VerificationReport:
+    """Verification outcome for one (query, stored graph) pair.
+
+    ``steps`` is the pair's execution time in engine steps — for
+    multithreaded Grapes this is the *simulated parallel* time, not the
+    total work.  Killed pairs are charged the budget, per the paper's
+    600''-convention (see :meth:`charged_steps`).
+    """
+
+    graph_id: int
+    matched: bool
+    steps: int
+    killed: bool
+    components_tried: int = 0
+
+    def charged_steps(self, budget: Optional[Budget]) -> int:
+        """Steps to charge in metrics (budget value when killed)."""
+        if self.killed and budget is not None and budget.max_steps:
+            return budget.max_steps
+        return self.steps
+
+
+@dataclass
+class FTVQueryResult:
+    """Full decision-query result over the dataset."""
+
+    candidate_ids: list[int]
+    reports: list[VerificationReport] = field(default_factory=list)
+
+    @property
+    def matching_ids(self) -> list[int]:
+        """IDs of graphs verified to contain the query."""
+        return [r.graph_id for r in self.reports if r.matched]
+
+    @property
+    def total_steps(self) -> int:
+        """Sum of per-pair verification times."""
+        return sum(r.steps for r in self.reports)
+
+
+class FTVIndex(ABC):
+    """Shared scaffolding for Grapes and GGSX.
+
+    Parameters
+    ----------
+    graphs:
+        The stored dataset; graph IDs are positions in this list.
+    max_path_length:
+        Maximum feature path length in edges (the paper indexes paths up
+        to length 4; the scaled default here is 3 — see DESIGN.md §2).
+    """
+
+    method_name: str = "FTV"
+
+    def __init__(
+        self,
+        graphs: list[LabeledGraph],
+        max_path_length: int = 3,
+    ) -> None:
+        if not graphs:
+            raise ValueError("empty dataset")
+        if max_path_length < 1:
+            raise ValueError("max_path_length must be >= 1")
+        self.graphs = list(graphs)
+        self.max_path_length = max_path_length
+        self._verifier = VF2Matcher()
+        self._graph_indexes: dict[int, GraphIndex] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # offline stage
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Construct the feature index (un-budgeted, per the paper)."""
+
+    # ------------------------------------------------------------------
+    # online stage
+    # ------------------------------------------------------------------
+
+    def query_census(self, query: LabeledGraph) -> PathCensus:
+        """The query's own path features (the "query index")."""
+        return label_path_census(
+            query, self.max_path_length, with_locations=False
+        )
+
+    @abstractmethod
+    def filter(self, query: LabeledGraph) -> list[int]:
+        """Candidate graph IDs after feature + frequency pruning."""
+
+    @abstractmethod
+    def verify(
+        self,
+        query: LabeledGraph,
+        graph_id: int,
+        budget: Optional[Budget] = None,
+    ) -> VerificationReport:
+        """Sub-iso decision test of ``query`` against one stored graph."""
+
+    def query(
+        self,
+        query: LabeledGraph,
+        budget: Optional[Budget] = None,
+    ) -> FTVQueryResult:
+        """Decision query over the whole dataset.
+
+        Each candidate pair is verified under its own ``budget``,
+        matching the paper's per-(query, graph) measurement protocol
+        (§4: "we execute each individual query against a single stored
+        graph at a time").
+        """
+        candidates = self.filter(query)
+        result = FTVQueryResult(candidate_ids=candidates)
+        for gid in candidates:
+            result.reports.append(self.verify(query, gid, budget))
+        return result
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def graph_index(self, graph_id: int) -> GraphIndex:
+        """Cached per-stored-graph VF2 index."""
+        index = self._graph_indexes.get(graph_id)
+        if index is None:
+            index = self._verifier.prepare(self.graphs[graph_id])
+            self._graph_indexes[graph_id] = index
+        return index
+
+    def _decision_outcome(
+        self,
+        index: GraphIndex,
+        query: LabeledGraph,
+        max_steps: int,
+    ) -> MatchOutcome:
+        """First-match VF2 run capped at ``max_steps``."""
+        budget = Budget(max_steps=max_steps) if max_steps < (1 << 62) else None
+        return self._verifier.decide(index, query, budget=budget)

@@ -1,0 +1,258 @@
+"""Grapes FTV index (Giugno et al., PLoS One 2013).
+
+Per the paper's §3.1.1:
+
+* paths up to a maximum length are found by DFS and indexed in a
+  **trie**;
+* unlike GGSX, Grapes additionally maintains **location information**
+  (which vertices each feature touches in each stored graph);
+* at query time the query's paths prune the trie, the surviving
+  candidate set is further pruned by **feature frequencies**, and then
+  Grapes uses the location information to extract the *relevant
+  connected components* of each candidate graph — VF2 verification runs
+  against those (typically much smaller) components instead of the
+  whole graph;
+* Grapes is multithreaded; the paper runs it with 1 and 4 threads
+  (Grapes/1, Grapes/4).
+
+The verification step follows the paper's modification: VF2 returns
+after the *first* match (decision semantics).  Multithreading is
+simulated deterministically over step costs (components are
+list-scheduled onto ``threads`` workers with first-match early
+termination) — see :mod:`repro.scheduling` and DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs import LabeledGraph
+from ..matching import Budget, GraphIndex, drive
+from ..scheduling import TaskResult, first_match_schedule
+from .base import FTVIndex, VerificationReport
+from .features import label_path_census
+from .trie import PathTrie
+
+__all__ = ["GrapesIndex", "DEFAULT_ROOT_SLICES"]
+
+#: Work-chunk granularity of the multithreaded verification: each
+#: relevant component's root-candidate set is split into this many
+#: contiguous slices (Grapes/4 schedules them over 4 workers; Grapes/1
+#: runs them in sequence, which is exactly single-threaded VF2).
+DEFAULT_ROOT_SLICES = 4
+
+
+class GrapesIndex(FTVIndex):
+    """Grapes: path trie with location info, component-wise verification.
+
+    Parameters
+    ----------
+    graphs, max_path_length:
+        See :class:`FTVIndex`.
+    threads:
+        Simulated verification threads (paper: Grapes/1 and Grapes/4).
+    """
+
+    def __init__(
+        self,
+        graphs: list[LabeledGraph],
+        max_path_length: int = 3,
+        threads: int = 1,
+    ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+        super().__init__(graphs, max_path_length)
+        self.method_name = f"Grapes/{threads}"
+
+    def with_threads(self, threads: int) -> "GrapesIndex":
+        """A view of this index running with a different thread count.
+
+        The trie and graph caches are shared (index construction is the
+        expensive part); only the verification parallelism changes.
+        Lets experiments compare Grapes/1 and Grapes/4 without building
+        the index twice.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        clone = object.__new__(GrapesIndex)
+        clone.__dict__.update(self.__dict__)
+        clone.threads = threads
+        clone.method_name = f"Grapes/{threads}"
+        return clone
+
+    # ------------------------------------------------------------------
+    # offline stage
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        self.trie = PathTrie()
+        for gid, graph in enumerate(self.graphs):
+            census = label_path_census(
+                graph, self.max_path_length, with_locations=True
+            )
+            for seq, count in census.counts.items():
+                self.trie.insert(
+                    seq, gid, count, census.locations.get(seq, frozenset())
+                )
+
+    # ------------------------------------------------------------------
+    # online stage
+    # ------------------------------------------------------------------
+
+    def filter(self, query: LabeledGraph) -> list[int]:
+        """Candidates containing every query feature often enough."""
+        census = self.query_census(query)
+        alive: Optional[set[int]] = None
+        for seq, needed in census.counts.items():
+            postings = self.trie.lookup(seq)
+            ok = {
+                gid for gid, p in postings.items() if p.count >= needed
+            }
+            alive = ok if alive is None else (alive & ok)
+            if not alive:
+                return []
+        return sorted(alive) if alive else []
+
+    def relevant_components(
+        self, query: LabeledGraph, graph_id: int
+    ) -> list[tuple[LabeledGraph, dict[int, int]]]:
+        """Connected components of the candidate graph induced on the
+        union of the query features' locations.
+
+        Components that cannot possibly host the query (too few
+        vertices, or missing some required label multiplicity) are
+        dropped before verification.  Ordered by ascending component
+        size, smallest-ID first — the cheap-first deterministic order.
+        """
+        census = self.query_census(query)
+        vertices: set[int] = set()
+        for seq in census.counts:
+            posting = self.trie.lookup(seq).get(graph_id)
+            if posting is not None:
+                vertices |= posting.locations
+        if not vertices:
+            return []
+        graph = self.graphs[graph_id]
+        region, mapping = graph.induced_subgraph(sorted(vertices))
+        need: dict[object, int] = {}
+        for u in query.vertices():
+            lab = query.label(u)
+            need[lab] = need.get(lab, 0) + 1
+        components: list[tuple[LabeledGraph, dict[int, int]]] = []
+        inverse = {new: old for old, new in mapping.items()}
+        for comp in region.connected_components():
+            if len(comp) < query.order:
+                continue
+            sub, sub_map = region.induced_subgraph(comp)
+            have: dict[object, int] = {}
+            for v in sub.vertices():
+                lab = sub.label(v)
+                have[lab] = have.get(lab, 0) + 1
+            if any(have.get(lab, 0) < k for lab, k in need.items()):
+                continue
+            # remap to original stored-graph IDs for reporting
+            back = {
+                new: inverse[old] for old, new in sub_map.items()
+            }
+            components.append((sub, back))
+        components.sort(key=lambda item: (item[0].order, min(item[1].values())))
+        return components
+
+    @staticmethod
+    def root_slices(
+        comp_index: GraphIndex,
+        query: LabeledGraph,
+        num_slices: int = DEFAULT_ROOT_SLICES,
+    ) -> list[tuple[int, ...]]:
+        """Partition a component's VF2 root candidates into work chunks.
+
+        Grapes' multithreaded verification distributes the candidate
+        start vertices of the query's first vertex across its threads.
+        Slices are contiguous ID ranges, so running them in sequence
+        reproduces exactly the single-threaded VF2 visit order (and step
+        count), while scheduling them over T workers models Grapes/T.
+        """
+        roots = comp_index.candidates_by_label(query.label(0))
+        if not roots:
+            return []
+        num_slices = max(1, min(num_slices, len(roots)))
+        size, extra = divmod(len(roots), num_slices)
+        slices = []
+        start = 0
+        for i in range(num_slices):
+            end = start + size + (1 if i < extra else 0)
+            slices.append(tuple(roots[start:end]))
+            start = end
+        return [s for s in slices if s]
+
+    def verification_tasks(
+        self, query: LabeledGraph, graph_id: int
+    ):
+        """Work chunks for one (query, graph) verification.
+
+        Returns a list of callables ``task(allowance) -> TaskResult``,
+        one per (relevant component, root slice); scheduling them over
+        ``threads`` workers with first-match early termination is the
+        Grapes/T verification.  Exposed so harnesses can share chunk
+        costs between thread counts.
+        """
+        components = self.relevant_components(query, graph_id)
+        tasks = []
+        for sub, _ in components:
+            comp_index = GraphIndex(sub)
+            for roots in self.root_slices(comp_index, query):
+                tasks.append(self._make_task(comp_index, query, roots))
+        return tasks
+
+    def _make_task(
+        self,
+        comp_index: GraphIndex,
+        query: LabeledGraph,
+        roots: tuple[int, ...],
+    ):
+        verifier = self._verifier
+
+        def run(allowance: int) -> TaskResult:
+            gen = verifier.engine(
+                comp_index, query, max_embeddings=1, root_candidates=roots
+            )
+            outcome = drive(gen, Budget(max_steps=max(1, allowance)))
+            return TaskResult(
+                steps=outcome.steps,
+                found=outcome.found,
+                killed=outcome.killed,
+            )
+
+        return run
+
+    def verify(
+        self,
+        query: LabeledGraph,
+        graph_id: int,
+        budget: Optional[Budget] = None,
+    ) -> VerificationReport:
+        """Decision test over the relevant components, ``threads``-wide.
+
+        Execution time is the simulated parallel schedule time of the
+        (component, root-slice) work chunks (first-match early
+        termination); with ``threads=1`` this is exactly the sequential
+        VF2 cost over the components in order.
+        """
+        tasks = self.verification_tasks(query, graph_id)
+        if not tasks:
+            return VerificationReport(
+                graph_id=graph_id, matched=False, steps=0, killed=False,
+                components_tried=0,
+            )
+        cap = budget.max_steps if budget and budget.max_steps else None
+        schedule = first_match_schedule(
+            tasks, workers=self.threads, budget_steps=cap
+        )
+        return VerificationReport(
+            graph_id=graph_id,
+            matched=schedule.found,
+            steps=schedule.time,
+            killed=schedule.killed,
+            components_tried=schedule.executed,
+        )

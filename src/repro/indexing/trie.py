@@ -1,0 +1,138 @@
+"""Trie structures over label sequences.
+
+Grapes indexes its DFS paths in a **trie**; GGSX in a **suffix tree**
+(§3.1.1).  Both are provided here:
+
+* :class:`PathTrie` — plain trie keyed by label; each terminal node
+  carries a posting map ``graph_id -> (count, locations)``.
+* :class:`SuffixTrie` — a trie over every suffix of the inserted
+  sequences, which is the uncompressed equivalent of GGSX's suffix tree
+  and supports containment lookups of arbitrary sub-paths.
+
+Postings are stored at every node along the inserted sequence, so a
+lookup of a *prefix* of an indexed path also succeeds — matching the
+"maximal paths of the query are matched with the dataset index, pruning
+away unmatched branches" behaviour of both systems.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["PathTrie", "SuffixTrie", "Posting"]
+
+LabelSeq = tuple
+
+
+class Posting:
+    """Occurrence record of a feature in one graph."""
+
+    __slots__ = ("count", "locations")
+
+    def __init__(self, count: int = 0, locations: frozenset[int] = frozenset()):
+        self.count = count
+        self.locations = locations
+
+    def merge(self, count: int, locations: frozenset[int]) -> None:
+        """Accumulate another batch of occurrences."""
+        self.count += count
+        if locations:
+            self.locations = self.locations | locations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Posting(count={self.count}, |loc|={len(self.locations)})"
+
+
+class _Node:
+    __slots__ = ("children", "postings")
+
+    def __init__(self) -> None:
+        self.children: dict[object, _Node] = {}
+        self.postings: dict[int, Posting] = {}
+
+
+class PathTrie:
+    """Trie over label sequences with per-graph postings."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def insert(
+        self,
+        seq: LabelSeq,
+        graph_id: int,
+        count: int,
+        locations: frozenset[int] = frozenset(),
+    ) -> None:
+        """Record ``count`` occurrences of ``seq`` in ``graph_id``.
+
+        Postings accumulate on the terminal node of ``seq`` only; prefix
+        nodes exist structurally (their own occurrences are inserted
+        separately by the census, which emits every prefix as a path in
+        its own right).
+        """
+        node = self._root
+        for lab in seq:
+            nxt = node.children.get(lab)
+            if nxt is None:
+                nxt = node.children[lab] = _Node()
+                self._size += 1
+            node = nxt
+        posting = node.postings.get(graph_id)
+        if posting is None:
+            node.postings[graph_id] = Posting(count, locations)
+        else:
+            posting.merge(count, locations)
+
+    def _find(self, seq: LabelSeq) -> _Node | None:
+        node = self._root
+        for lab in seq:
+            node = node.children.get(lab)
+            if node is None:
+                return None
+        return node
+
+    def lookup(self, seq: LabelSeq) -> dict[int, Posting]:
+        """Postings of ``seq`` (empty when the feature is absent)."""
+        node = self._find(seq)
+        return dict(node.postings) if node else {}
+
+    def contains(self, seq: LabelSeq) -> bool:
+        """Whether ``seq`` is a node in the trie."""
+        node = self._find(seq)
+        return node is not None and bool(node.postings)
+
+    @property
+    def node_count(self) -> int:
+        """Number of non-root trie nodes (index-size statistic)."""
+        return self._size
+
+    def iter_features(self) -> Iterator[LabelSeq]:
+        """All indexed sequences that carry postings."""
+        stack: list[tuple[_Node, LabelSeq]] = [(self._root, ())]
+        while stack:
+            node, seq = stack.pop()
+            if node.postings:
+                yield seq
+            for lab, child in node.children.items():
+                stack.append((child, seq + (lab,)))
+
+
+class SuffixTrie(PathTrie):
+    """Trie over all suffixes of inserted sequences (GGSX-style).
+
+    Inserting ``(a, b, c)`` records postings for ``(a, b, c)``,
+    ``(b, c)`` and ``(c,)``, so any *sub*-path of an indexed path can be
+    looked up — the structural property GGSX's suffix tree provides.
+    """
+
+    def insert(
+        self,
+        seq: LabelSeq,
+        graph_id: int,
+        count: int,
+        locations: frozenset[int] = frozenset(),
+    ) -> None:
+        for start in range(len(seq)):
+            super().insert(seq[start:], graph_id, count, locations)

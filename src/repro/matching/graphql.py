@@ -1,0 +1,225 @@
+"""GraphQL matcher (He & Singh, SIGMOD 2008).
+
+Per the paper's §3.1.2 description, GraphQL:
+
+* indexes, for every stored vertex, its label plus a **neighbourhood
+  signature** capturing the labels of neighbouring nodes within a radius,
+  in lexicographic order;
+* at query time retrieves all possible matches per pattern vertex, then
+  prunes with three rules: (1) label + signature containment, (2) an
+  iterative **pseudo subgraph isomorphism** test up to level ``l`` (for
+  every surviving pair, the neighbours of the query vertex must be
+  matchable to *distinct* neighbours of the stored vertex), and (3) a
+  **search-order optimisation** over left-deep join plans driven by
+  estimated intermediate result sizes;
+* finally executes the sub-iso test as a series of joins over the
+  candidate lists.
+
+The pseudo sub-iso test uses bipartite matching (Kuhn's augmenting-path
+algorithm) between query-vertex neighbourhoods and candidate-vertex
+neighbourhoods.  Tie-breaks in plan selection are by node ID — the
+paper's results show GraphQL is the *least* rewriting-sensitive NFV
+method because this plan logic is relatively ID-insensitive, and the
+same holds here (the estimates dominate; IDs only break ties).
+
+One engine step is charged per filter probe, per pseudo-iso pair test
+and per join candidate probe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..graphs import LabeledGraph
+from .engine import (
+    DEFAULT_MAX_EMBEDDINGS,
+    GraphIndex,
+    Matcher,
+    MatchOutcome,
+    SearchEngine,
+)
+
+__all__ = ["GraphQLMatcher", "GraphQLIndex"]
+
+
+class GraphQLIndex(GraphIndex):
+    """GraphIndex plus per-vertex neighbour-label signatures."""
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        super().__init__(graph)
+        self.signatures: list[Counter] = [
+            Counter(graph.label(w) for w in graph.neighbors(v))
+            for v in graph.vertices()
+        ]
+
+
+def _signature_contains(big: Counter, small: Counter) -> bool:
+    """Multiset containment ``small <= big``."""
+    return all(big.get(lab, 0) >= k for lab, k in small.items())
+
+
+class GraphQLMatcher(Matcher):
+    """GraphQL: signature filtering, pseudo-iso refinement, ordered joins.
+
+    Parameters
+    ----------
+    refine_level:
+        Number of pseudo sub-iso iterations (the paper runs with
+        ``r = 4``).
+    """
+
+    name = "GQL"
+
+    def __init__(self, refine_level: int = 4) -> None:
+        if refine_level < 0:
+            raise ValueError("refine_level must be >= 0")
+        self.refine_level = refine_level
+
+    def prepare(self, graph: LabeledGraph) -> GraphQLIndex:
+        return GraphQLIndex(graph)
+
+    def engine(
+        self,
+        index: GraphIndex,
+        query: LabeledGraph,
+        max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+        count_only: bool = False,
+    ) -> SearchEngine:
+        if not isinstance(index, GraphQLIndex):
+            index = GraphQLIndex(index.graph)
+        graph = index.graph
+        outcome = MatchOutcome(algorithm=self.name)
+        nq = query.order
+        if nq == 0:
+            raise ValueError("empty query graph")
+        if nq > graph.order or query.size > graph.size:
+            outcome.exhausted = True
+            return outcome
+            yield  # pragma: no cover - makes this a generator
+
+        q_sigs = [
+            Counter(query.label(w) for w in query.neighbors(u))
+            for u in query.vertices()
+        ]
+
+        # ---- rule 1: label + signature containment filter -------------
+        cand: list[list[int]] = []
+        for u in query.vertices():
+            lst: list[int] = []
+            for c in index.candidates_by_label(query.label(u)):
+                yield
+                if _signature_contains(index.signatures[c], q_sigs[u]):
+                    lst.append(c)
+            if not lst:
+                outcome.exhausted = True
+                return outcome
+            cand.append(lst)
+
+        cand_sets = [set(lst) for lst in cand]
+
+        # ---- rule 2: iterative pseudo subgraph isomorphism -------------
+        def pseudo_iso_ok(u: int, c: int) -> bool:
+            """Bipartite test: distinct candidate neighbours for all of
+            u's neighbours (Kuhn's algorithm)."""
+            q_nbrs = query.neighbors(u)
+            c_nbrs = graph.neighbors(c)
+            if len(q_nbrs) > len(c_nbrs):
+                return False
+            match_of: dict[int, int] = {}  # graph nbr -> query nbr
+
+            def try_assign(w: int, visited: set[int]) -> bool:
+                for d in c_nbrs:
+                    if d in visited or d not in cand_sets[w]:
+                        continue
+                    visited.add(d)
+                    if d not in match_of or try_assign(
+                        match_of[d], visited
+                    ):
+                        match_of[d] = w
+                        return True
+                return False
+
+            return all(try_assign(w, set()) for w in q_nbrs)
+
+        for _ in range(self.refine_level):
+            changed = False
+            for u in query.vertices():
+                survivors: list[int] = []
+                for c in cand[u]:
+                    yield
+                    if pseudo_iso_ok(u, c):
+                        survivors.append(c)
+                if len(survivors) != len(cand[u]):
+                    changed = True
+                    if not survivors:
+                        outcome.exhausted = True
+                        return outcome
+                    cand[u] = survivors
+                    cand_sets[u] = set(survivors)
+            if not changed:
+                break
+
+        # ---- rule 3: left-deep search-order optimisation ----------------
+        # greedy plan: start at the smallest candidate list; extend with
+        # the connected vertex minimising the estimated intermediate
+        # result size |cand| * gamma^(#join edges).  Ties break by ID.
+        gamma = 0.5
+        order: list[int] = []
+        chosen: set[int] = set()
+        first = min(query.vertices(), key=lambda u: (len(cand[u]), u))
+        order.append(first)
+        chosen.add(first)
+        while len(order) < nq:
+            best_u = -1
+            best_cost = float("inf")
+            for u in query.vertices():
+                if u in chosen:
+                    continue
+                links = sum(1 for w in query.neighbors(u) if w in chosen)
+                if links == 0:
+                    continue
+                cost = len(cand[u]) * (gamma ** links)
+                if cost < best_cost or (cost == best_cost and u < best_u):
+                    best_cost = cost
+                    best_u = u
+            if best_u < 0:
+                # disconnected query: pick the globally cheapest remaining
+                best_u = min(
+                    (u for u in query.vertices() if u not in chosen),
+                    key=lambda u: (len(cand[u]), u),
+                )
+            order.append(best_u)
+            chosen.add(best_u)
+
+        # ---- joins (backtracking along the plan) -----------------------
+        q_to_g: dict[int, int] = {}
+        used: set[int] = set()
+
+        def search(pos: int) -> SearchEngine:
+            if pos == nq:
+                outcome.found = True
+                outcome.num_embeddings += 1
+                if not count_only:
+                    outcome.embeddings.append(dict(q_to_g))
+                return None
+            u = order[pos]
+            mapped_nbrs = [
+                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
+            ]
+            for c in cand[u]:
+                yield
+                if c in used:
+                    continue
+                if all(graph.has_edge(c, img) for img in mapped_nbrs):
+                    q_to_g[u] = c
+                    used.add(c)
+                    yield from search(pos + 1)
+                    del q_to_g[u]
+                    used.discard(c)
+                    if outcome.num_embeddings >= max_embeddings:
+                        return None
+            return None
+
+        yield from search(0)
+        outcome.exhausted = True
+        return outcome

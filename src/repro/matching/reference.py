@@ -1,0 +1,77 @@
+"""Brute-force reference matcher (test oracle).
+
+Plain backtracking over query vertices in ascending ID order with only
+the two checks required for correctness (label equality and adjacency of
+already-mapped neighbours).  No lookahead, no ordering heuristics — slow
+but trivially auditable.  The test suite uses it as ground truth for
+every other matcher: on small graphs all matchers must find *exactly*
+the same set of embeddings.
+"""
+
+from __future__ import annotations
+
+from ..graphs import LabeledGraph
+from .engine import (
+    DEFAULT_MAX_EMBEDDINGS,
+    GraphIndex,
+    Matcher,
+    MatchOutcome,
+    SearchEngine,
+)
+
+__all__ = ["ReferenceMatcher"]
+
+
+class ReferenceMatcher(Matcher):
+    """Exhaustive backtracking matcher used as a correctness oracle."""
+
+    name = "REF"
+
+    def engine(
+        self,
+        index: GraphIndex,
+        query: LabeledGraph,
+        max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+        count_only: bool = False,
+    ) -> SearchEngine:
+        graph = index.graph
+        outcome = MatchOutcome(algorithm=self.name)
+        nq = query.order
+        if nq == 0:
+            raise ValueError("empty query graph")
+        if nq > graph.order:
+            outcome.exhausted = True
+            return outcome
+            yield  # pragma: no cover - makes this a generator
+
+        q_to_g: dict[int, int] = {}
+        used: set[int] = set()
+
+        def search(u: int) -> SearchEngine:
+            if u == nq:
+                outcome.found = True
+                outcome.num_embeddings += 1
+                if not count_only:
+                    outcome.embeddings.append(dict(q_to_g))
+                return None
+            lab = query.label(u)
+            mapped_nbrs = [
+                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
+            ]
+            for c in index.candidates_by_label(lab):
+                yield
+                if c in used:
+                    continue
+                if all(graph.has_edge(c, img) for img in mapped_nbrs):
+                    q_to_g[u] = c
+                    used.add(c)
+                    yield from search(u + 1)
+                    del q_to_g[u]
+                    used.discard(c)
+                    if outcome.num_embeddings >= max_embeddings:
+                        return None
+            return None
+
+        yield from search(0)
+        outcome.exhausted = True
+        return outcome

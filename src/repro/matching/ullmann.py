@@ -1,0 +1,143 @@
+"""Ullmann's subgraph-isomorphism algorithm (JACM 1976).
+
+The paper cites Ullmann [18] as the classical baseline underlying the
+vertex/edge-indexed NFV methods.  We include it both as a baseline for
+the ablation benches and as another "alternative algorithm" the
+Ψ-framework can race.
+
+The algorithm maintains a candidate matrix ``M`` (query vertex -> set of
+permissible stored vertices, initialised by label and degree) and
+performs row-by-row assignment in ascending query-ID order, running the
+classic *refinement* procedure after each assignment: a candidate ``c``
+for query vertex ``u`` survives only if every neighbour of ``u`` still
+has at least one candidate among the neighbours of ``c``.
+
+One engine step is charged per candidate probe and per refinement cell
+check batch; Ullmann's heavy refinement makes it expensive per node but
+strong at pruning — a usefully *different* cost profile for racing.
+"""
+
+from __future__ import annotations
+
+from ..graphs import LabeledGraph
+from .engine import (
+    DEFAULT_MAX_EMBEDDINGS,
+    GraphIndex,
+    Matcher,
+    MatchOutcome,
+    SearchEngine,
+)
+
+__all__ = ["UllmannMatcher"]
+
+
+class UllmannMatcher(Matcher):
+    """Ullmann's algorithm with per-assignment refinement."""
+
+    name = "ULL"
+
+    def engine(
+        self,
+        index: GraphIndex,
+        query: LabeledGraph,
+        max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+        count_only: bool = False,
+    ) -> SearchEngine:
+        graph = index.graph
+        outcome = MatchOutcome(algorithm=self.name)
+        nq = query.order
+        if nq == 0:
+            raise ValueError("empty query graph")
+        if nq > graph.order:
+            outcome.exhausted = True
+            return outcome
+            yield  # pragma: no cover - makes this a generator
+
+        # initial candidate sets: label equality + degree dominance
+        init: list[frozenset[int]] = []
+        for u in query.vertices():
+            du = query.degree(u)
+            init.append(
+                frozenset(
+                    c
+                    for c in index.candidates_by_label(query.label(u))
+                    if index.degrees[c] >= du
+                )
+            )
+        if any(not s for s in init):
+            outcome.exhausted = True
+            return outcome
+
+        def refine(
+            cand: list[frozenset[int]],
+        ) -> SearchEngine:
+            """Ullmann refinement to a fixed point; returns refined sets.
+
+            Yields one step per (vertex, candidate) check round.  Returns
+            ``None`` in place of the list when some set empties (dead
+            branch).
+            """
+            current = list(cand)
+            changed = True
+            while changed:
+                changed = False
+                for u in range(nq):
+                    survivors = set()
+                    q_nbrs = query.neighbors(u)
+                    yield
+                    for c in current[u]:
+                        c_nbrs = graph.neighbor_set(c)
+                        ok = all(
+                            any(d in current[w] for d in c_nbrs)
+                            for w in q_nbrs
+                        )
+                        if ok:
+                            survivors.add(c)
+                    if len(survivors) != len(current[u]):
+                        changed = True
+                        if not survivors:
+                            return None
+                        current[u] = frozenset(survivors)
+            return current
+
+        refined = yield from refine(init)
+        if refined is None:
+            outcome.exhausted = True
+            return outcome
+
+        q_to_g: dict[int, int] = {}
+        used: set[int] = set()
+
+        def search(u: int, cand: list[frozenset[int]]) -> SearchEngine:
+            if u == nq:
+                outcome.found = True
+                outcome.num_embeddings += 1
+                if not count_only:
+                    outcome.embeddings.append(dict(q_to_g))
+                return None
+            mapped_nbrs = [
+                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
+            ]
+            for c in sorted(cand[u]):
+                yield
+                if c in used:
+                    continue
+                if not all(graph.has_edge(c, img) for img in mapped_nbrs):
+                    continue
+                narrowed = list(cand)
+                narrowed[u] = frozenset((c,))
+                narrowed = yield from refine(narrowed)
+                if narrowed is None:
+                    continue
+                q_to_g[u] = c
+                used.add(c)
+                yield from search(u + 1, narrowed)
+                del q_to_g[u]
+                used.discard(c)
+                if outcome.num_embeddings >= max_embeddings:
+                    return None
+            return None
+
+        yield from search(0, refined)
+        outcome.exhausted = True
+        return outcome

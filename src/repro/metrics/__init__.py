@@ -1,0 +1,31 @@
+"""Performance metrics: bands, (max/min), speedup*, QLA/WLA (paper §3.5)."""
+
+from .core import (
+    Band,
+    BandBreakdown,
+    CostRecord,
+    DistributionSummary,
+    Thresholds,
+    band_breakdown,
+    classify,
+    max_min_ratio,
+    qla_ratio,
+    speedup_values,
+    summarize_distribution,
+    wla_ratio,
+)
+
+__all__ = [
+    "Band",
+    "BandBreakdown",
+    "CostRecord",
+    "DistributionSummary",
+    "Thresholds",
+    "band_breakdown",
+    "classify",
+    "max_min_ratio",
+    "qla_ratio",
+    "speedup_values",
+    "summarize_distribution",
+    "wla_ratio",
+]

@@ -1,0 +1,31 @@
+"""The Ψ-framework (Parallel Subgraph Isomorphism framework, paper §8)."""
+
+from .advisor import RaceObservation, VariantAdvisor, query_features
+from .executors import (
+    AttemptCost,
+    OverheadModel,
+    RaceOutcome,
+    interleaved_race,
+    race_from_costs,
+    threaded_race,
+)
+from .framework import PsiFTV, PsiFTVQueryResult, PsiNFV, PsiResult
+from .variants import Variant, variants_from_spec
+
+__all__ = [
+    "RaceObservation",
+    "VariantAdvisor",
+    "query_features",
+    "AttemptCost",
+    "OverheadModel",
+    "RaceOutcome",
+    "interleaved_race",
+    "race_from_costs",
+    "threaded_race",
+    "PsiFTV",
+    "PsiFTVQueryResult",
+    "PsiNFV",
+    "PsiResult",
+    "Variant",
+    "variants_from_spec",
+]

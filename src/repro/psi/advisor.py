@@ -1,0 +1,211 @@
+"""Per-query variant selection — the paper's stated future work.
+
+The paper closes: "Using machine learning models to predict which
+version of our framework (algorithms, rewritings) to employ per query
+is of high interest" (§9).  This module implements that extension as a
+lightweight online learner:
+
+* :func:`query_features` turns a query (plus stored-graph label
+  statistics) into a small numeric vector — the characteristics the
+  paper's analysis identifies as driving hardness: size, density,
+  degree profile, label-frequency profile, path-likeness;
+* :class:`VariantAdvisor` keeps a memory of past races (features +
+  per-variant costs) and, for a new query, predicts the most promising
+  ``k`` variants by distance-weighted nearest neighbours.  Racing only
+  the predicted subset preserves most of the full race's time while
+  cutting its total work — the resource the paper's overhead remark
+  worries about.
+
+The learner is deliberately dependency-free (pure-Python KNN): the
+point is the *system interface* (observe races -> shrink future
+races), not squeezing the last percent out of the predictor.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..graphs import LabeledGraph
+from ..rewriting import LabelStats
+from .variants import Variant
+
+__all__ = ["query_features", "RaceObservation", "VariantAdvisor"]
+
+_FEATURE_NAMES = (
+    "vertices",
+    "edges",
+    "density",
+    "avg_degree",
+    "max_degree",
+    "degree_stddev",
+    "distinct_labels",
+    "min_label_freq",
+    "mean_label_freq",
+    "path_likeness",
+)
+
+
+def query_features(
+    query: LabeledGraph, stats: LabelStats
+) -> tuple[float, ...]:
+    """Numeric feature vector of a query against a stored graph.
+
+    ``path_likeness`` is the fraction of query vertices with degree
+    <= 2 — the paper's §6.2 explanation for why rewritings do nothing
+    on wordnet is precisely that its queries are mostly paths.
+    """
+    n = query.order
+    degrees = [query.degree(v) for v in query.vertices()]
+    freqs = [
+        stats.frequency(query.label(v)) for v in query.vertices()
+    ]
+    return (
+        float(n),
+        float(query.size),
+        query.density(),
+        statistics.mean(degrees),
+        float(max(degrees)),
+        statistics.pstdev(degrees) if n > 1 else 0.0,
+        float(len(query.distinct_labels())),
+        float(min(freqs)),
+        statistics.mean(freqs),
+        sum(1 for d in degrees if d <= 2) / n,
+    )
+
+
+@dataclass
+class RaceObservation:
+    """One completed race: query features and per-variant costs."""
+
+    features: tuple[float, ...]
+    costs: dict[Variant, int]
+
+    def best_variant(self) -> Variant:
+        """The cheapest variant of this observation."""
+        return min(self.costs, key=lambda v: (self.costs[v], v))
+
+
+@dataclass
+class VariantAdvisor:
+    """Distance-weighted KNN over past races.
+
+    Parameters
+    ----------
+    variants:
+        The full variant portfolio the advisor chooses from.
+    neighbors:
+        How many past races vote on a prediction.
+    """
+
+    variants: tuple[Variant, ...]
+    neighbors: int = 5
+    _history: list[RaceObservation] = field(default_factory=list)
+    _scale: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("advisor needs a variant portfolio")
+        if self.neighbors < 1:
+            raise ValueError("neighbors must be >= 1")
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        features: Sequence[float],
+        costs: Mapping[Variant, int],
+    ) -> None:
+        """Record a completed race (standalone costs per variant)."""
+        unknown = set(costs) - set(self.variants)
+        if unknown:
+            raise ValueError(f"unknown variants {unknown}")
+        self._history.append(
+            RaceObservation(tuple(features), dict(costs))
+        )
+        self._rescale()
+
+    def _rescale(self) -> None:
+        """Per-feature scale (mean absolute value) for fair distances."""
+        dims = len(_FEATURE_NAMES)
+        sums = [0.0] * dims
+        for obs in self._history:
+            for i, x in enumerate(obs.features):
+                sums[i] += abs(x)
+        n = len(self._history)
+        self._scale = [s / n if s > 0 else 1.0 for s in sums]
+
+    @property
+    def observations(self) -> int:
+        """Number of recorded races."""
+        return len(self._history)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+
+    def _distance(
+        self, a: Sequence[float], b: Sequence[float]
+    ) -> float:
+        return math.sqrt(
+            sum(
+                ((x - y) / s) ** 2
+                for x, y, s in zip(a, b, self._scale)
+            )
+        )
+
+    def recommend(
+        self, features: Sequence[float], k: int = 2
+    ) -> tuple[Variant, ...]:
+        """The ``k`` most promising variants for a new query.
+
+        With no history, returns the first ``k`` portfolio variants (a
+        full-race prefix).  Otherwise the nearest past races vote for
+        their cheapest variants with inverse-distance weights.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.variants))
+        if not self._history:
+            return self.variants[:k]
+        ranked = sorted(
+            self._history,
+            key=lambda obs: self._distance(features, obs.features),
+        )[: self.neighbors]
+        scores: dict[Variant, float] = {v: 0.0 for v in self.variants}
+        for obs in ranked:
+            weight = 1.0 / (
+                1.0 + self._distance(features, obs.features)
+            )
+            best = min(obs.costs.values())
+            for variant, cost in obs.costs.items():
+                # reward variants by closeness to the observed optimum
+                scores[variant] += weight * best / max(cost, 1)
+        order = sorted(
+            self.variants, key=lambda v: (-scores[v], v)
+        )
+        return tuple(order[:k])
+
+    def hit_rate(self, k: int = 2) -> float:
+        """Leave-one-out rate at which the true winner is in the top-k.
+
+        A self-diagnostic: how often would racing only the recommended
+        subset have preserved the full race's winner?
+        """
+        if len(self._history) < 2:
+            return float("nan")
+        hits = 0
+        history = list(self._history)
+        for i, obs in enumerate(history):
+            self._history = history[:i] + history[i + 1:]
+            self._rescale()
+            recommended = self.recommend(obs.features, k=k)
+            if obs.best_variant() in recommended:
+                hits += 1
+        self._history = history
+        self._rescale()
+        return hits / len(history)

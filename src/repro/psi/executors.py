@@ -1,0 +1,291 @@
+"""Race executors: three ways to run N matching attempts "in parallel".
+
+The Ψ-framework's semantics (paper §8): N threads start simultaneously
+on the same query, each with its own rewriting and/or algorithm; the
+first to finish is the winner and the rest are killed.  Under ideal
+parallelism the race's execution time is the winner's own time plus the
+thread instantiation/synchronisation overhead the paper calls
+"non-trivial".
+
+Because CPython threads cannot actually overlap CPU-bound work, the
+default executor **interleaves** the steppable engines round-robin in a
+single thread: every engine advances one step per round, so the first
+engine to complete is exactly the one with the fewest steps — the
+deterministic realisation of "first past the post".  A real
+``threading``-based executor is provided for completeness (its *answer*
+is identical; its winner choice can differ under GIL scheduling), and a
+pure cost-algebra executor (:func:`race_from_costs`) lets experiment
+harnesses replay races from per-variant cost matrices without rerunning
+searches.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..matching import Budget, MatchOutcome
+from ..matching.engine import SearchEngine
+
+__all__ = [
+    "OverheadModel",
+    "RaceOutcome",
+    "interleaved_race",
+    "threaded_race",
+    "race_from_costs",
+    "AttemptCost",
+]
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Cost of spawning/synchronising race threads, in steps.
+
+    The paper observes that "the instantiation and synchronisation of
+    many threads come with a non-trivial overhead, impacting the overall
+    speedup" (§8) — this model makes that overhead an explicit,
+    sweepable parameter (see the race-overhead ablation bench).
+    """
+
+    base_steps: int = 0
+    per_variant_steps: int = 0
+
+    def cost(self, num_variants: int) -> int:
+        """Total overhead charged to a race of ``num_variants``."""
+        return self.base_steps + self.per_variant_steps * num_variants
+
+    @classmethod
+    def free(cls) -> "OverheadModel":
+        """Zero-overhead model (upper-bound speedups)."""
+        return cls()
+
+
+@dataclass
+class RaceOutcome:
+    """Result of one Ψ race.
+
+    ``steps`` is the race's execution time: the winner's step count plus
+    overhead (or budget + overhead when every variant was killed).
+    ``work_steps`` is the *total* work all variants performed — the
+    price of parallelism, reported for the efficiency ablations.
+    """
+
+    winner: Optional[object]
+    outcome: Optional[MatchOutcome]
+    steps: int
+    found: bool
+    killed: bool
+    overhead_steps: int
+    per_variant_steps: dict = field(default_factory=dict)
+
+    @property
+    def work_steps(self) -> int:
+        """Total steps across all variants (the price of the race)."""
+        return sum(self.per_variant_steps.values())
+
+
+def interleaved_race(
+    engines: Mapping[object, SearchEngine],
+    budget: Optional[Budget] = None,
+    overhead: OverheadModel = OverheadModel(),
+) -> RaceOutcome:
+    """Deterministic race: round-robin one step per engine per round.
+
+    The first engine to complete wins (ties resolved by mapping order,
+    i.e. variant declaration order — the stable stand-in for "whichever
+    thread the scheduler favours").  Losers are closed immediately, as
+    the paper's framework kills losing threads.  Every variant is
+    subject to the same per-variant ``budget``; the race is killed when
+    all variants exhaust it.
+    """
+    if not engines:
+        raise ValueError("race needs at least one variant")
+    keys = list(engines)
+    alive: dict[object, SearchEngine] = dict(engines)
+    steps = {k: 0 for k in keys}
+    cap = budget.max_steps if budget and budget.max_steps else None
+    over = overhead.cost(len(keys))
+    try:
+        while alive:
+            for key in keys:
+                gen = alive.get(key)
+                if gen is None:
+                    continue
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    outcome = stop.value or MatchOutcome()
+                    outcome.steps = steps[key]
+                    return RaceOutcome(
+                        winner=key,
+                        outcome=outcome,
+                        steps=steps[key] + over,
+                        found=outcome.found,
+                        killed=False,
+                        overhead_steps=over,
+                        per_variant_steps=dict(steps),
+                    )
+                steps[key] += 1
+                if cap is not None and steps[key] >= cap:
+                    gen.close()
+                    del alive[key]
+    finally:
+        for gen in alive.values():
+            gen.close()
+    # every variant hit the cap: the race is killed at the budget
+    assert cap is not None
+    return RaceOutcome(
+        winner=None,
+        outcome=None,
+        steps=cap + over,
+        found=False,
+        killed=True,
+        overhead_steps=over,
+        per_variant_steps=dict(steps),
+    )
+
+
+def threaded_race(
+    engine_factories: Mapping[object, Callable[[], SearchEngine]],
+    budget: Optional[Budget] = None,
+    overhead: OverheadModel = OverheadModel(),
+    check_every: int = 256,
+) -> RaceOutcome:
+    """Real ``threading`` race with cooperative cancellation.
+
+    Each thread drives its engine and checks a shared stop event every
+    ``check_every`` steps; the first thread to complete publishes its
+    result and stops the rest.  Functionally equivalent to
+    :func:`interleaved_race` (same answers); the winner identity and
+    step accounting can differ under OS/GIL scheduling, which is why the
+    deterministic executor is the default everywhere results are
+    reported.
+    """
+    if not engine_factories:
+        raise ValueError("race needs at least one variant")
+    stop = threading.Event()
+    lock = threading.Lock()
+    state: dict[str, object] = {"winner": None, "outcome": None}
+    steps: dict[object, int] = {k: 0 for k in engine_factories}
+    cap = budget.max_steps if budget and budget.max_steps else None
+
+    def work(key: object, factory: Callable[[], SearchEngine]) -> None:
+        gen = factory()
+        count = 0
+        try:
+            while True:
+                try:
+                    next(gen)
+                except StopIteration as stop_iter:
+                    outcome = stop_iter.value or MatchOutcome()
+                    outcome.steps = count
+                    with lock:
+                        steps[key] = count
+                        if state["winner"] is None:
+                            state["winner"] = key
+                            state["outcome"] = outcome
+                    stop.set()
+                    return
+                count += 1
+                if cap is not None and count >= cap:
+                    break
+                if count % check_every == 0 and stop.is_set():
+                    break
+        finally:
+            gen.close()
+            with lock:
+                steps[key] = count
+
+    threads = [
+        threading.Thread(target=work, args=(k, f), daemon=True)
+        for k, f in engine_factories.items()
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    over = overhead.cost(len(threads))
+    winner = state["winner"]
+    if winner is None:
+        return RaceOutcome(
+            winner=None,
+            outcome=None,
+            steps=(cap if cap is not None else 0) + over,
+            found=False,
+            killed=cap is not None,
+            overhead_steps=over,
+            per_variant_steps=dict(steps),
+        )
+    outcome = state["outcome"]
+    assert isinstance(outcome, MatchOutcome)
+    return RaceOutcome(
+        winner=winner,
+        outcome=outcome,
+        steps=outcome.steps + over,
+        found=outcome.found,
+        killed=False,
+        overhead_steps=over,
+        per_variant_steps=dict(steps),
+    )
+
+
+@dataclass(frozen=True)
+class AttemptCost:
+    """Measured cost of one variant's standalone attempt."""
+
+    steps: int
+    found: bool
+    killed: bool
+
+
+def race_from_costs(
+    costs: Mapping[object, AttemptCost],
+    budget_steps: Optional[int] = None,
+    overhead: OverheadModel = OverheadModel(),
+) -> RaceOutcome:
+    """Replay a race from per-variant costs (the "simulated" executor).
+
+    The winner is the variant with the fewest steps among those that
+    *completed* (killed attempts never finish); ties break by mapping
+    order.  Experiment harnesses use this to evaluate every Ψ variant
+    set from a single per-variant cost matrix, exactly as the paper's
+    speedup* metric is defined (§3.5).
+    """
+    if not costs:
+        raise ValueError("race needs at least one variant")
+    over = overhead.cost(len(costs))
+    winner: Optional[object] = None
+    best: Optional[AttemptCost] = None
+    for key, cost in costs.items():
+        if cost.killed:
+            continue
+        if best is None or cost.steps < best.steps:
+            winner, best = key, cost
+    per_variant = {
+        k: min(c.steps, best.steps) if best is not None else c.steps
+        for k, c in costs.items()
+    }
+    if best is None:
+        cap = budget_steps if budget_steps is not None else max(
+            c.steps for c in costs.values()
+        )
+        return RaceOutcome(
+            winner=None,
+            outcome=None,
+            steps=cap + over,
+            found=False,
+            killed=True,
+            overhead_steps=over,
+            per_variant_steps=per_variant,
+        )
+    return RaceOutcome(
+        winner=winner,
+        outcome=None,
+        steps=best.steps + over,
+        found=best.found,
+        killed=False,
+        overhead_steps=over,
+        per_variant_steps=per_variant,
+    )

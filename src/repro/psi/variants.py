@@ -1,0 +1,44 @@
+"""Race variants: (algorithm, rewriting) pairs.
+
+A Ψ-framework race runs one *variant* per simulated thread.  For the
+FTV methods every variant uses the method's own VF2 verification and
+varies only the rewriting; for the NFV methods variants may vary the
+algorithm, the rewriting, or both (paper §8: "each using a different
+well-known algorithm and/or a specific query rewriting").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Variant", "variants_from_spec"]
+
+
+@dataclass(frozen=True, order=True)
+class Variant:
+    """One racing thread's configuration."""
+
+    algorithm: str
+    rewriting: str
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"GQL-ILF"``."""
+        return f"{self.algorithm}-{self.rewriting}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def variants_from_spec(
+    algorithms: tuple[str, ...] | list[str],
+    rewritings: tuple[str, ...] | list[str],
+) -> tuple[Variant, ...]:
+    """Cross product of algorithms and rewritings, in given order.
+
+    ``variants_from_spec(("GQL", "SPA"), ("Orig", "DND"))`` yields the
+    paper's 4-thread Ψ([GQL/SPA]-[Or/DND]) configuration.
+    """
+    return tuple(
+        Variant(a, r) for a in algorithms for r in rewritings
+    )

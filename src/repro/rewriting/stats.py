@@ -1,0 +1,49 @@
+"""Label-frequency statistics backing the ILF rewriting.
+
+The ILF family of rewritings orders query vertices by the frequency of
+their labels *in the stored graph* (paper §6: "In a preprocessing step,
+we compute the frequencies of node labels in the stored graph").  For
+NFV methods the stored graph is a single large graph; for FTV methods
+each candidate graph has its own frequencies, and a dataset-wide
+aggregate is also offered for callers that want one rewriting per query
+rather than per (query, graph) pair.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from ..graphs import LabeledGraph
+
+__all__ = ["LabelStats"]
+
+
+class LabelStats:
+    """Frequency table of vertex labels in one or more stored graphs."""
+
+    def __init__(self, frequencies: Counter) -> None:
+        self._freq = Counter(frequencies)
+
+    @classmethod
+    def of_graph(cls, graph: LabeledGraph) -> "LabelStats":
+        """Frequencies of a single stored graph."""
+        return cls(graph.label_frequencies())
+
+    @classmethod
+    def of_collection(cls, graphs: Iterable[LabeledGraph]) -> "LabelStats":
+        """Aggregate frequencies over a dataset of graphs."""
+        total: Counter = Counter()
+        for g in graphs:
+            total.update(g.label_frequencies())
+        return cls(total)
+
+    def frequency(self, label: object) -> int:
+        """Occurrences of ``label`` (0 when unseen — rarest possible)."""
+        return self._freq.get(label, 0)
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabelStats({len(self._freq)} labels)"

@@ -1,0 +1,140 @@
+"""Deterministic simulation of parallel work schedules.
+
+CPython threads cannot speed up CPU-bound search (the GIL), so this
+reproduction *simulates* parallel execution over deterministic step
+costs instead of measuring wall-clock noise (see DESIGN.md §2).  Two
+primitives cover everything the paper's systems need:
+
+* :func:`first_match_schedule` — Grapes' multithreaded verification:
+  a list of tasks (connected components to verify) is list-scheduled
+  onto ``workers`` identical workers; the run ends at the first task
+  that reports a match (remaining work is killed), or at the makespan.
+* The Ψ-framework's *race* semantics (all variants start simultaneously,
+  first finisher wins) are the special case ``workers >= len(tasks)``;
+  :mod:`repro.psi` builds on the same cost algebra.
+
+Costs are in engine steps.  Tasks are lazily evaluated: a task whose
+scheduled start time already exceeds the current winning finish time (or
+the budget) is never executed at all, mirroring a real kill.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TaskResult", "ScheduleOutcome", "first_match_schedule"]
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Cost of one task: steps consumed and whether it found a match.
+
+    ``killed`` marks a task that hit its own cap before finishing; its
+    ``steps`` then reflect the cap.
+    """
+
+    steps: int
+    found: bool
+    killed: bool = False
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of a simulated parallel run.
+
+    Attributes
+    ----------
+    time:
+        Simulated parallel time in steps (capped at ``budget_steps``).
+    found:
+        Whether some task reported a match before the cap.
+    killed:
+        True when the schedule hit ``budget_steps`` without finishing.
+    executed:
+        Number of tasks actually evaluated (lazy evaluation skips tasks
+        that a real run would have killed before their first step).
+    task_results:
+        Results of the evaluated tasks, in schedule order.
+    """
+
+    time: int
+    found: bool
+    killed: bool
+    executed: int
+    task_results: list[TaskResult] = field(default_factory=list)
+
+
+def first_match_schedule(
+    tasks: Sequence[Callable[[int], TaskResult]],
+    workers: int,
+    budget_steps: Optional[int] = None,
+) -> ScheduleOutcome:
+    """List-schedule ``tasks`` over ``workers``; stop at the first match.
+
+    Each task is a callable receiving its *remaining step allowance*
+    (``budget_steps - start_time``; or a sentinel large value when
+    unbudgeted) and returning a :class:`TaskResult`.  Tasks are assigned
+    in order to the earliest-free worker (ties: lowest worker id), which
+    is the classic deterministic list schedule.
+
+    The run finishes at the earliest finish time among match-reporting
+    tasks (first-match semantics, remaining work killed), else at the
+    makespan; either is capped at ``budget_steps``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    free_at = [0] * workers
+    cap = budget_steps if budget_steps is not None else None
+    best_finish: Optional[int] = None  # earliest match finish
+    makespan = 0
+    executed = 0
+    results: list[TaskResult] = []
+    for task in tasks:
+        worker = min(range(workers), key=lambda w: (free_at[w], w))
+        start = free_at[worker]
+        if best_finish is not None and start >= best_finish:
+            continue  # would be killed before starting
+        if cap is not None and start >= cap:
+            continue  # budget exceeded before this task could start
+        allowance = (cap - start) if cap is not None else (1 << 62)
+        if best_finish is not None:
+            allowance = min(allowance, best_finish - start)
+        result = task(allowance)
+        executed += 1
+        results.append(result)
+        finish = start + result.steps
+        free_at[worker] = finish
+        makespan = max(makespan, finish)
+        if result.found:
+            best_finish = (
+                finish if best_finish is None else min(best_finish, finish)
+            )
+    if best_finish is not None:
+        time = best_finish if cap is None else min(best_finish, cap)
+        found = cap is None or best_finish <= cap
+        return ScheduleOutcome(
+            time=time,
+            found=found,
+            killed=not found,
+            executed=executed,
+            task_results=results,
+        )
+    if cap is not None and (
+        makespan > cap or any(r.killed for r in results)
+    ):
+        return ScheduleOutcome(
+            time=cap,
+            found=False,
+            killed=True,
+            executed=executed,
+            task_results=results,
+        )
+    return ScheduleOutcome(
+        time=makespan,
+        found=False,
+        killed=False,
+        executed=executed,
+        task_results=results,
+    )

@@ -1,0 +1,5 @@
+"""Query workload generation (paper §3.4)."""
+
+from .queries import Query, extract_query, generate_workload
+
+__all__ = ["Query", "extract_query", "generate_workload"]

@@ -1,0 +1,133 @@
+"""Query workload generation (paper §3.4).
+
+The paper's generator: "first we select a graph from the dataset
+uniformly and at random, and from that graph we select a node uniformly
+and at random.  Starting from said node, we generate a query graph by
+incrementally adding edges chosen uniformly at random from the set of
+all edges adjacent to the resulting query graph, until it reaches the
+desired size."  Queries are therefore connected subgraphs of stored
+graphs — every query has at least one embedding, which is what makes
+killed queries genuinely *straggler* behaviour rather than unsatisfiable
+inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graphs import GraphError, LabeledGraph
+
+__all__ = ["Query", "extract_query", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """One workload query.
+
+    ``source_graph_id`` records which stored graph the query was grown
+    from (always 0 for single-graph NFV datasets).
+    """
+
+    graph: LabeledGraph
+    source_graph_id: int
+    num_edges: int
+    seed: int
+
+    @property
+    def name(self) -> str:
+        """The query graph's name (``q<index>_<size>e``)."""
+        return self.graph.name
+
+
+def extract_query(
+    graph: LabeledGraph,
+    num_edges: int,
+    rng: random.Random,
+    name: str = "q",
+) -> LabeledGraph:
+    """Grow one query of ``num_edges`` edges by random edge accretion.
+
+    Raises :class:`GraphError` when the seed vertex's component has too
+    few edges to reach the requested size (callers retry with a fresh
+    seed vertex).
+    """
+    if num_edges < 1:
+        raise GraphError("queries need at least one edge")
+    if graph.size < num_edges:
+        raise GraphError("stored graph smaller than requested query")
+    start = rng.randrange(graph.order)
+    nodes: list[int] = [start]
+    node_set = {start}
+    chosen: set[tuple[int, int]] = set()
+    # frontier: edges adjacent to the current query subgraph
+    while len(chosen) < num_edges:
+        frontier: list[tuple[int, int]] = []
+        for u in nodes:
+            for v in graph.neighbors(u):
+                e = (u, v) if u < v else (v, u)
+                if e not in chosen:
+                    frontier.append(e)
+        # dedupe, keep deterministic order
+        frontier = sorted(set(frontier))
+        if not frontier:
+            raise GraphError(
+                "component exhausted before reaching requested size"
+            )
+        e = frontier[rng.randrange(len(frontier))]
+        chosen.add(e)
+        for end in e:
+            if end not in node_set:
+                node_set.add(end)
+                nodes.append(end)
+    mapping = {old: new for new, old in enumerate(nodes)}
+    query = LabeledGraph(
+        len(nodes), [graph.label(v) for v in nodes], name=name
+    )
+    for u, v in sorted(chosen):
+        query.add_edge(mapping[u], mapping[v])
+    return query
+
+
+def generate_workload(
+    graphs: list[LabeledGraph],
+    num_queries: int,
+    num_edges: int,
+    seed: int = 0,
+) -> list[Query]:
+    """Generate ``num_queries`` queries of ``num_edges`` edges each.
+
+    Stored graphs are drawn uniformly; under-sized seed components are
+    retried (bounded), per the paper's protocol.
+    """
+    if not graphs:
+        raise GraphError("empty dataset")
+    rng = random.Random(seed)
+    queries: list[Query] = []
+    attempts = 0
+    while len(queries) < num_queries:
+        attempts += 1
+        if attempts > 100 * num_queries:
+            raise GraphError(
+                f"could not grow {num_queries} queries of {num_edges} "
+                "edges; dataset too small"
+            )
+        gid = rng.randrange(len(graphs))
+        try:
+            q = extract_query(
+                graphs[gid],
+                num_edges,
+                rng,
+                name=f"q{len(queries):03d}_{num_edges}e",
+            )
+        except GraphError:
+            continue
+        queries.append(
+            Query(
+                graph=q,
+                source_graph_id=gid,
+                num_edges=num_edges,
+                seed=seed,
+            )
+        )
+    return queries

@@ -1,0 +1,115 @@
+"""Tests for the per-query variant advisor (paper §9 future work)."""
+
+import math
+import random
+
+import pytest
+
+from repro.graphs import gnm_graph, uniform_labels
+from repro.psi import Variant, VariantAdvisor, query_features
+from repro.rewriting import LabelStats
+from repro.workload import extract_query
+
+PORTFOLIO = (
+    Variant("GQL", "Orig"),
+    Variant("SPA", "Orig"),
+    Variant("GQL", "DND"),
+    Variant("SPA", "DND"),
+)
+
+
+def _features(seed=1, edges=5):
+    rng = random.Random(seed)
+    g = gnm_graph(
+        30, 70, uniform_labels(30, ["A", "B", "C"], rng), rng
+    )
+    q = extract_query(g, edges, rng)
+    return query_features(q, LabelStats.of_graph(g))
+
+
+class TestQueryFeatures:
+    def test_vector_shape_and_ranges(self):
+        f = _features()
+        assert len(f) == 10
+        vertices, edges, density, avg_deg = f[0], f[1], f[2], f[3]
+        assert vertices >= 2
+        assert edges == 5
+        assert 0 < density <= 1
+        assert avg_deg > 0
+        path_likeness = f[-1]
+        assert 0 <= path_likeness <= 1
+
+    def test_deterministic(self):
+        assert _features(3) == _features(3)
+
+
+class TestAdvisor:
+    def test_needs_portfolio(self):
+        with pytest.raises(ValueError):
+            VariantAdvisor(())
+        with pytest.raises(ValueError):
+            VariantAdvisor(PORTFOLIO, neighbors=0)
+
+    def test_cold_start_returns_prefix(self):
+        advisor = VariantAdvisor(PORTFOLIO)
+        rec = advisor.recommend(_features(), k=2)
+        assert rec == PORTFOLIO[:2]
+
+    def test_k_clamped_to_portfolio(self):
+        advisor = VariantAdvisor(PORTFOLIO)
+        rec = advisor.recommend(_features(), k=99)
+        assert len(rec) == len(PORTFOLIO)
+
+    def test_k_validation(self):
+        advisor = VariantAdvisor(PORTFOLIO)
+        with pytest.raises(ValueError):
+            advisor.recommend(_features(), k=0)
+
+    def test_rejects_unknown_variants(self):
+        advisor = VariantAdvisor(PORTFOLIO)
+        with pytest.raises(ValueError):
+            advisor.observe(_features(), {Variant("ULL", "Orig"): 10})
+
+    def test_learns_a_consistent_winner(self):
+        """If one variant always wins, it must top recommendations."""
+        advisor = VariantAdvisor(PORTFOLIO, neighbors=3)
+        winner = PORTFOLIO[2]
+        for seed in range(8):
+            costs = {
+                v: (10 if v == winner else 1000) for v in PORTFOLIO
+            }
+            advisor.observe(_features(seed), costs)
+        rec = advisor.recommend(_features(99), k=1)
+        assert rec == (winner,)
+        assert advisor.observations == 8
+
+    def test_feature_conditional_learning(self):
+        """Winner depends on a feature: the advisor should follow it."""
+        advisor = VariantAdvisor(PORTFOLIO, neighbors=3)
+        small, big = PORTFOLIO[0], PORTFOLIO[3]
+        for seed in range(6):
+            f_small = _features(seed, edges=3)
+            advisor.observe(
+                f_small,
+                {v: (5 if v == small else 500) for v in PORTFOLIO},
+            )
+            f_big = _features(seed, edges=9)
+            advisor.observe(
+                f_big,
+                {v: (5 if v == big else 500) for v in PORTFOLIO},
+            )
+        assert advisor.recommend(_features(50, edges=3), k=1) == (small,)
+        assert advisor.recommend(_features(50, edges=9), k=1) == (big,)
+
+    def test_hit_rate(self):
+        advisor = VariantAdvisor(PORTFOLIO, neighbors=3)
+        assert math.isnan(advisor.hit_rate())
+        winner = PORTFOLIO[1]
+        for seed in range(6):
+            advisor.observe(
+                _features(seed),
+                {v: (1 if v == winner else 100) for v in PORTFOLIO},
+            )
+        assert advisor.hit_rate(k=1) == 1.0
+        # hit_rate must not consume history
+        assert advisor.observations == 6

@@ -1,0 +1,118 @@
+"""Tests for the post-hoc analysis tools."""
+
+import pytest
+
+from repro.harness import (
+    NFVCostMatrix,
+    diagnose_straggler,
+    hard_overlap_table,
+    hard_set,
+    winner_attribution_table,
+)
+from repro.metrics import CostRecord, Thresholds
+from repro.workload import Query
+from repro.graphs import LabeledGraph
+
+
+def _query(edges=2):
+    g = LabeledGraph.from_edges(
+        ["A"] * (edges + 1), [(i, i + 1) for i in range(edges)]
+    )
+    return Query(graph=g, source_graph_id=0, num_edges=edges, seed=0)
+
+
+def _matrix():
+    """Hand-built 3-query matrix: unit 0 hard for X, unit 1 hard for Y,
+    unit 2 easy for both."""
+    thresholds = Thresholds(easy_steps=10, budget_steps=100)
+    m = NFVCostMatrix(
+        dataset="toy",
+        thresholds=thresholds,
+        queries=[_query(), _query(), _query()],
+        methods=("X", "Y"),
+        variant_names=("Orig", "ILF"),
+    )
+
+    def put(u, meth, var, steps, killed=False):
+        m.records[(u, meth, var)] = CostRecord(
+            steps=steps, found=not killed, killed=killed
+        )
+
+    put(0, "X", "Orig", 100, killed=True)
+    put(0, "X", "ILF", 5)
+    put(0, "Y", "Orig", 7)
+    put(0, "Y", "ILF", 9)
+    put(1, "X", "Orig", 4)
+    put(1, "X", "ILF", 6)
+    put(1, "Y", "Orig", 100, killed=True)
+    put(1, "Y", "ILF", 100, killed=True)
+    put(2, "X", "Orig", 3)
+    put(2, "X", "ILF", 8)
+    put(2, "Y", "Orig", 5)
+    put(2, "Y", "ILF", 2)
+    return m
+
+
+class TestHardSets:
+    def test_hard_set(self):
+        m = _matrix()
+        assert hard_set(m, "X") == frozenset({0})
+        assert hard_set(m, "Y") == frozenset({1})
+
+    def test_overlap_table(self):
+        m = _matrix()
+        t = hard_overlap_table(m)
+        rows = {row[0]: row for row in t.rows}
+        # disjoint hard sets: Jaccard 0 across, 1 with self
+        assert rows["X"][2] == 1.0  # J vs X
+        assert rows["X"][3] == 0.0  # J vs Y
+        assert rows["Y"][1] == 1  # |hard|
+
+    def test_empty_hard_sets_overlap_zero(self):
+        m = _matrix()
+        t = hard_overlap_table(m, variant="ILF")
+        rows = {row[0]: row for row in t.rows}
+        # X-ILF completes everywhere; Y-ILF killed on unit 1
+        assert rows["X"][1] == 0
+        assert rows["X"][2] == 0.0  # J(empty, empty) defined as 0
+
+
+class TestWinnerAttribution:
+    def test_wins_counted(self):
+        m = _matrix()
+        members = [("X", "Orig"), ("Y", "Orig")]
+        t = winner_attribution_table(m, members)
+        wins = {row[0]: row[1] for row in t.rows}
+        # unit 0: Y-Orig (7 < killed); unit 1: X-Orig; unit 2: X-Orig
+        assert wins["X-Orig"] == 2
+        assert wins["Y-Orig"] == 1
+
+    def test_killed_races_noted(self):
+        m = _matrix()
+        t = winner_attribution_table(m, [("Y", "ILF")])
+        assert any("killed" in n for n in t.notes)
+
+
+class TestDiagnosis:
+    def test_straggler_rescued(self):
+        m = _matrix()
+        d = diagnose_straggler(m, 0, "X")
+        assert d.rescued
+        assert d.baseline_steps == 100  # charged at budget
+        # cheapest rescuer is X-ILF at 5 steps
+        assert d.rescuers[0] == ("X", "ILF", 5)
+        assert d.best_speedup == pytest.approx(20.0)
+        assert not d.psi_killed
+
+    def test_unrescuable_unit(self):
+        m = _matrix()
+        # make every attempt on unit 0 killed
+        for meth in ("X", "Y"):
+            for var in ("Orig", "ILF"):
+                m.records[(0, meth, var)] = CostRecord(
+                    steps=100, found=False, killed=True
+                )
+        d = diagnose_straggler(m, 0, "X")
+        assert not d.rescued
+        assert d.psi_killed
+        assert d.best_speedup == 1.0

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestDatasets:
+    def test_summaries(self, capsys):
+        code, out = run_cli(capsys, "datasets", "--scale", "tiny")
+        assert code == 0
+        assert "yeast" in out
+        assert "ppi" in out
+        assert "Avg degree" in out
+
+
+class TestWorkload:
+    def test_table_output(self, capsys):
+        code, out = run_cli(
+            capsys, "workload", "--dataset", "yeast",
+            "--scale", "tiny", "--size", "5", "--count", "3",
+        )
+        assert code == 0
+        assert out.count("q0") == 3
+
+    def test_gfu_export(self, capsys, tmp_path):
+        path = tmp_path / "queries.gfu"
+        code, out = run_cli(
+            capsys, "workload", "--dataset", "yeast",
+            "--scale", "tiny", "--size", "4", "--count", "2",
+            "--out", str(path),
+        )
+        assert code == 0
+        from repro.graphs import read_gfu
+
+        queries = read_gfu(path)
+        assert len(queries) == 2
+        assert all(q.size == 4 for q in queries)
+
+    def test_ftv_dataset_source(self, capsys):
+        code, out = run_cli(
+            capsys, "workload", "--dataset", "ppi",
+            "--scale", "tiny", "--size", "4", "--count", "2",
+        )
+        assert code == 0
+
+
+class TestMatch:
+    def test_match_reports_outcome(self, capsys):
+        code, out = run_cli(
+            capsys, "match", "--dataset", "yeast", "--scale", "tiny",
+            "--size", "5", "--algorithm", "GQL",
+        )
+        assert code == 0
+        assert "embeddings in" in out
+        assert "completed" in out or "killed" in out
+
+
+class TestRace:
+    def test_race_prints_winner(self, capsys):
+        code, out = run_cli(
+            capsys, "race", "--dataset", "yeast", "--scale", "tiny",
+            "--size", "5", "--algorithms", "GQL,SPA",
+            "--rewritings", "Orig,ILF",
+        )
+        assert code == 0
+        assert "<- winner" in out
+        assert "race time" in out
+
+    def test_race_rejects_ftv_dataset(self):
+        with pytest.raises(SystemExit):
+            main([
+                "race", "--dataset", "ppi", "--scale", "tiny",
+            ])
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig2", "fig8", "fig13"])
+    def test_nfv_experiments(self, capsys, name):
+        code, out = run_cli(
+            capsys, "experiment", "--name", name, "--scale", "tiny",
+        )
+        assert code == 0
+        assert "yeast" in out
+
+    @pytest.mark.parametrize("name", ["fig1", "fig7", "fig12"])
+    def test_ftv_experiments(self, capsys, name):
+        code, out = run_cli(
+            capsys, "experiment", "--name", name, "--scale", "tiny",
+        )
+        assert code == 0
+        assert "ppi" in out
+
+    def test_dataset_family_mismatch(self):
+        with pytest.raises(SystemExit):
+            main([
+                "experiment", "--name", "fig2", "--dataset", "ppi",
+                "--scale", "tiny",
+            ])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "--name", "fig99"]
+            )
+
+
+class TestAnalyze:
+    def test_analyze_prints_overlap_and_diagnoses(self, capsys):
+        code, out = run_cli(
+            capsys, "analyze", "--dataset", "yeast", "--scale", "tiny",
+        )
+        assert code == 0
+        assert "hard-set overlap" in out
+        assert "winner attribution" in out
+        assert "worst unit for" in out
+
+    def test_analyze_rejects_ftv(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--dataset", "ppi"])

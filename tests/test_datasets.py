@@ -1,0 +1,103 @@
+"""Unit tests for the paper-dataset stand-ins (Tables 1-2 regimes)."""
+
+import pytest
+
+from repro.datasets import (
+    graphgen_like,
+    human_like,
+    ppi_like,
+    summarize_collection,
+    summarize_graph,
+    wordnet_like,
+    yeast_like,
+)
+
+
+class TestNFVDatasets:
+    def test_yeast_regime(self):
+        g = yeast_like(n=300, num_labels=30)
+        assert g.order == 300
+        assert g.is_connected()
+        # sparse power-law: avg degree near the paper's 8
+        assert 4 <= g.average_degree() <= 12
+        assert len(g.distinct_labels()) > 10
+
+    def test_human_denser_than_yeast(self):
+        y = yeast_like(n=300, num_labels=30)
+        h = human_like(n=300, num_labels=12)
+        assert h.average_degree() > y.average_degree()
+
+    def test_wordnet_near_tree_few_labels(self):
+        g = wordnet_like(n=500)
+        assert g.is_connected()
+        assert g.average_degree() < 4
+        assert len(g.distinct_labels()) <= 5
+
+    def test_wordnet_label_skew(self):
+        g = wordnet_like(n=2000)
+        freqs = sorted(g.label_frequencies().values(), reverse=True)
+        # the paper stresses wordnet's "highly skewed" label frequencies
+        assert freqs[0] > 5 * freqs[-1]
+
+    def test_determinism(self):
+        assert yeast_like(n=200).same_labeled_structure(yeast_like(n=200))
+
+    def test_custom_seed_changes_graph(self):
+        a = yeast_like(n=200, seed=1)
+        b = yeast_like(n=200, seed=2)
+        assert not a.same_labeled_structure(b)
+
+
+class TestFTVDatasets:
+    def test_ppi_graphs_disconnected(self):
+        graphs = ppi_like(num_graphs=4, avg_nodes=90, num_labels=8)
+        assert len(graphs) == 4
+        # Table 1: all PPI graphs are disconnected (module unions)
+        assert all(len(g.connected_components()) > 1 for g in graphs)
+
+    def test_ppi_family_shares_labels(self):
+        graphs = ppi_like(num_graphs=4, avg_nodes=90, num_labels=8)
+        alphabet = set()
+        for g in graphs:
+            alphabet |= g.distinct_labels()
+        assert len(alphabet) <= 8
+
+    def test_synthetic_graphs_connected(self):
+        graphs = graphgen_like(num_graphs=5, avg_nodes=40, num_labels=5)
+        assert all(g.is_connected() for g in graphs)
+
+    def test_synthetic_density_regime(self):
+        graphs = graphgen_like(
+            num_graphs=5, avg_nodes=50, density=0.12, num_labels=5
+        )
+        avg_density = sum(g.density() for g in graphs) / len(graphs)
+        assert 0.06 <= avg_density <= 0.2
+
+    def test_determinism(self):
+        a = ppi_like(num_graphs=3, avg_nodes=60, num_labels=8)
+        b = ppi_like(num_graphs=3, avg_nodes=60, num_labels=8)
+        for x, y in zip(a, b):
+            assert x.same_labeled_structure(y)
+
+
+class TestSummaries:
+    def test_collection_summary(self):
+        graphs = graphgen_like(num_graphs=4, avg_nodes=40, num_labels=5)
+        s = summarize_collection(graphs)
+        assert s.num_graphs == 4
+        assert s.num_labels <= 5
+        assert s.avg_nodes > 0
+        assert s.avg_degree > 0
+        rows = s.as_rows()
+        assert ("# graphs", "4") in rows
+
+    def test_graph_summary(self):
+        g = yeast_like(n=150, num_labels=20)
+        s = summarize_graph(g)
+        assert s.num_graphs == 1
+        assert s.stddev_nodes == 0.0
+        assert s.avg_nodes == 150
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_collection([])

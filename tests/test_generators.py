@@ -1,0 +1,164 @@
+"""Unit tests for the random graph generators."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    disjoint_union,
+    gnm_graph,
+    mutate_graph,
+    powerlaw_graph,
+    sparse_tree_like_graph,
+    uniform_labels,
+    zipf_labels,
+)
+
+
+class TestLabels:
+    def test_uniform_labels_length_and_alphabet(self):
+        rng = random.Random(1)
+        labels = uniform_labels(100, ["A", "B"], rng)
+        assert len(labels) == 100
+        assert set(labels) <= {"A", "B"}
+
+    def test_uniform_labels_empty_alphabet(self):
+        with pytest.raises(GraphError):
+            uniform_labels(5, [], random.Random(1))
+
+    def test_zipf_labels_skewed(self):
+        rng = random.Random(2)
+        labels = zipf_labels(2000, ["L0", "L1", "L2", "L3"], rng, 1.5)
+        counts = {lab: labels.count(lab) for lab in set(labels)}
+        assert counts["L0"] > counts.get("L3", 0)
+
+    def test_zipf_labels_empty_alphabet(self):
+        with pytest.raises(GraphError):
+            zipf_labels(5, [], random.Random(1))
+
+    def test_label_generators_deterministic(self):
+        a = uniform_labels(50, ["A", "B"], random.Random(3))
+        b = uniform_labels(50, ["A", "B"], random.Random(3))
+        assert a == b
+
+
+class TestGnm:
+    def test_exact_counts(self):
+        rng = random.Random(1)
+        g = gnm_graph(20, 40, uniform_labels(20, ["A"], rng), rng)
+        assert g.order == 20
+        assert g.size == 40
+
+    def test_connected(self):
+        rng = random.Random(2)
+        g = gnm_graph(30, 35, uniform_labels(30, ["A"], rng), rng)
+        assert g.is_connected()
+
+    def test_too_many_edges_rejected(self):
+        rng = random.Random(1)
+        with pytest.raises(GraphError):
+            gnm_graph(4, 10, ["A"] * 4, rng)
+
+    def test_too_few_edges_rejected(self):
+        rng = random.Random(1)
+        with pytest.raises(GraphError):
+            gnm_graph(10, 5, ["A"] * 10, rng)
+
+    def test_deterministic(self):
+        def build(seed):
+            rng = random.Random(seed)
+            return gnm_graph(15, 30, ["A"] * 15, rng)
+
+        assert build(5).same_labeled_structure(build(5))
+
+
+class TestPowerlaw:
+    def test_order_and_connectivity(self):
+        rng = random.Random(3)
+        g = powerlaw_graph(60, 3, uniform_labels(60, ["A", "B"], rng), rng)
+        assert g.order == 60
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        rng = random.Random(4)
+        g = powerlaw_graph(300, 2, ["A"] * 300, rng)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        # the max degree should far exceed the median in a BA graph
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_parameter_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(GraphError):
+            powerlaw_graph(5, 0, ["A"] * 5, rng)
+        with pytest.raises(GraphError):
+            powerlaw_graph(3, 3, ["A"] * 3, rng)
+
+
+class TestSparseTreeLike:
+    def test_connected_and_sparse(self):
+        rng = random.Random(5)
+        g = sparse_tree_like_graph(200, 0.4, ["A"] * 200, rng)
+        assert g.is_connected()
+        assert g.size < 2 * g.order
+
+    def test_zero_extra_edges_is_tree(self):
+        rng = random.Random(6)
+        g = sparse_tree_like_graph(50, 0.0, ["A"] * 50, rng)
+        assert g.size == 49
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(GraphError):
+            sparse_tree_like_graph(10, -0.1, ["A"] * 10, random.Random(1))
+
+
+class TestDisjointUnion:
+    def test_union_counts(self):
+        rng = random.Random(7)
+        a = gnm_graph(10, 15, ["A"] * 10, rng)
+        b = gnm_graph(8, 10, ["B"] * 8, rng)
+        u = disjoint_union([a, b])
+        assert u.order == 18
+        assert u.size == 25
+        assert len(u.connected_components()) == 2
+
+    def test_union_preserves_labels(self):
+        rng = random.Random(8)
+        a = gnm_graph(5, 6, ["A"] * 5, rng)
+        b = gnm_graph(5, 6, ["B"] * 5, rng)
+        u = disjoint_union([a, b])
+        assert u.label(0) == "A"
+        assert u.label(5) == "B"
+
+    def test_union_of_one(self):
+        rng = random.Random(9)
+        a = gnm_graph(5, 6, ["A"] * 5, rng)
+        u = disjoint_union([a])
+        assert u.same_labeled_structure(a)
+
+
+class TestMutate:
+    def test_preserves_order_and_size(self):
+        rng = random.Random(10)
+        g = gnm_graph(30, 60, uniform_labels(30, ["A", "B"], rng), rng)
+        m = mutate_graph(g, rng, 0.2, 0.2, ["A", "B"])
+        assert m.order == g.order
+        assert m.size == g.size
+
+    def test_zero_mutation_is_copy(self):
+        rng = random.Random(11)
+        g = gnm_graph(20, 40, uniform_labels(20, ["A", "B"], rng), rng)
+        m = mutate_graph(g, rng, 0.0, 0.0)
+        assert m.same_labeled_structure(g)
+
+    def test_mutation_changes_something(self):
+        rng = random.Random(12)
+        g = gnm_graph(40, 100, uniform_labels(40, ["A", "B"], rng), rng)
+        m = mutate_graph(g, rng, 0.4, 0.4, ["A", "B"])
+        assert not m.same_labeled_structure(g)
+
+    def test_invalid_fraction_rejected(self):
+        rng = random.Random(1)
+        g = gnm_graph(5, 6, ["A"] * 5, rng)
+        with pytest.raises(GraphError):
+            mutate_graph(g, rng, 1.5, 0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for graph serialization (GFU, edge list, JSON)."""
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    LabeledGraph,
+    dumps_edge_list,
+    dumps_gfu,
+    graph_from_json,
+    graph_to_json,
+    loads_edge_list,
+    loads_gfu,
+    read_gfu,
+    write_gfu,
+)
+
+from .conftest import triangle_with_tail
+
+
+class TestGFU:
+    def test_round_trip_single(self):
+        g = triangle_with_tail()
+        [h] = loads_gfu(dumps_gfu([g]))
+        assert h.same_labeled_structure(g)
+        assert h.name == g.name
+
+    def test_round_trip_collection(self):
+        g1 = triangle_with_tail()
+        g2 = LabeledGraph.from_edges(["X", "Y"], [(0, 1)], name="tiny")
+        out = loads_gfu(dumps_gfu([g1, g2]))
+        assert len(out) == 2
+        assert out[1].name == "tiny"
+        assert out[1].label(0) == "X"
+
+    def test_empty_collection(self):
+        assert dumps_gfu([]) == ""
+        assert loads_gfu("") == []
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphError):
+            loads_gfu("2\nA\nB\n0\n")
+
+    def test_bad_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            loads_gfu("#g\nnope\n")
+
+    def test_truncated_labels_rejected(self):
+        with pytest.raises(GraphError):
+            loads_gfu("#g\n3\nA\nB\n")
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "data.gfu"
+        graphs = [triangle_with_tail()]
+        write_gfu(path, graphs)
+        [h] = read_gfu(path)
+        assert h.same_labeled_structure(graphs[0])
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = triangle_with_tail()
+        h = loads_edge_list(dumps_edge_list(g))
+        assert h.same_labeled_structure(g)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "t g 0 0\n% comment\n\nv 0 A\nv 1 B\ne 0 1\n"
+        g = loads_edge_list(text)
+        assert g.order == 2
+        assert g.has_edge(0, 1)
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("v 0 A\nv 0 B\n")
+
+    def test_sparse_ids_rejected(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("v 0 A\nv 2 B\ne 0 2\n")
+
+    def test_unknown_line_kind_rejected(self):
+        with pytest.raises(GraphError):
+            loads_edge_list("x 1 2\n")
+
+
+class TestJSON:
+    def test_round_trip_with_edge_labels(self):
+        g = LabeledGraph(3, ["A", "B", "C"], name="j")
+        g.add_edge(0, 1, label="x")
+        g.add_edge(1, 2)
+        h = graph_from_json(graph_to_json(g))
+        assert h.same_labeled_structure(g)
+        assert h.name == "j"
+        assert h.edge_label(0, 1) == "x"
+        assert h.edge_label(1, 2) is None
+
+    def test_json_deterministic(self):
+        g = triangle_with_tail()
+        assert graph_to_json(g) == graph_to_json(triangle_with_tail())

@@ -1,0 +1,91 @@
+"""GraphQL-specific tests: signatures, pseudo-iso refinement, plans."""
+
+import random
+
+import pytest
+
+from repro.graphs import LabeledGraph, gnm_graph, uniform_labels
+from repro.matching import GraphQLIndex, GraphQLMatcher
+
+from .conftest import canonical_embeddings, random_query_from
+
+
+def test_signature_contents():
+    g = LabeledGraph.from_edges(
+        ["A", "B", "B", "C"], [(0, 1), (0, 2), (0, 3)]
+    )
+    ix = GraphQLIndex(g)
+    assert ix.signatures[0] == {"B": 2, "C": 1}
+    assert ix.signatures[3] == {"A": 1}
+
+
+def test_signature_filter_prunes():
+    """A query vertex needing two B-neighbours cannot match a store
+    vertex with only one."""
+    g = LabeledGraph.from_edges(
+        ["A", "B", "A", "B", "B"], [(0, 1), (2, 3), (2, 4)]
+    )
+    q = LabeledGraph.from_edges(["A", "B", "B"], [(0, 1), (0, 2)])
+    out = GraphQLMatcher().run(g, q, max_embeddings=100)
+    assert out.found
+    assert all(emb[0] == 2 for emb in out.embeddings)
+
+
+def test_pseudo_iso_requires_distinct_neighbours():
+    """Two same-label query neighbours need two distinct store
+    neighbours — the bipartite test must catch the single-neighbour
+    impostor."""
+    g = LabeledGraph.from_edges(
+        # vertex 0: one B neighbour; vertex 3: two B neighbours
+        ["A", "B", "A", "B", "B"],
+        [(0, 1), (2, 3), (2, 4)],
+    )
+    q = LabeledGraph.from_edges(["A", "B", "B"], [(0, 1), (0, 2)])
+    matcher = GraphQLMatcher(refine_level=2)
+    out = matcher.run(g, q, max_embeddings=100)
+    assert all(emb[0] == 2 for emb in out.embeddings)
+
+
+def test_refine_level_zero_still_correct(small_store):
+    query = random_query_from(small_store, 5, 31)
+    lazy = GraphQLMatcher(refine_level=0).run(
+        small_store, query, max_embeddings=10**6
+    )
+    eager = GraphQLMatcher(refine_level=4).run(
+        small_store, query, max_embeddings=10**6
+    )
+    assert canonical_embeddings(lazy.embeddings) == canonical_embeddings(
+        eager.embeddings
+    )
+
+
+def test_more_refinement_never_increases_join_answer(small_store):
+    """Refinement prunes candidates; answers must be unchanged while
+    steps may shift."""
+    query = random_query_from(small_store, 6, 37)
+    out0 = GraphQLMatcher(refine_level=0).run(
+        small_store, query, max_embeddings=10**6
+    )
+    out4 = GraphQLMatcher(refine_level=4).run(
+        small_store, query, max_embeddings=10**6
+    )
+    assert out0.num_embeddings == out4.num_embeddings
+
+
+def test_invalid_refine_level():
+    with pytest.raises(ValueError):
+        GraphQLMatcher(refine_level=-1)
+
+
+def test_prepare_returns_graphql_index(small_store):
+    assert isinstance(GraphQLMatcher().prepare(small_store), GraphQLIndex)
+
+
+def test_accepts_plain_graph_index(small_store):
+    """Engine upgrades a plain GraphIndex transparently."""
+    from repro.matching import GraphIndex
+
+    query = random_query_from(small_store, 4, 5)
+    plain = GraphIndex(small_store)
+    out = GraphQLMatcher().run(plain, query, max_embeddings=10)
+    assert out.found

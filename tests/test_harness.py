@@ -1,0 +1,219 @@
+"""Integration tests for the experiment harness on tiny configurations.
+
+These exercise the full measurement + aggregation pipeline that the
+benchmarks run at full scale: every experiment driver must produce a
+well-formed table from real measured matrices.
+"""
+
+import pytest
+
+from repro.harness import (
+    ALL_VARIANT_NAMES,
+    FTVExperimentConfig,
+    NFVExperimentConfig,
+    PSI_FTV_VARIANT_SETS,
+    PSI_NFV_MULTIALG_SETS,
+    PSI_NFV_REWRITING_SETS,
+    Table,
+    alt_algorithm_speedup_table,
+    band_percentages_table,
+    build_ftv_graphs,
+    build_nfv_graph,
+    grapes_psi_by_size_table,
+    killed_pct_table,
+    maxmin_table,
+    measure_ftv_matrix,
+    measure_nfv_matrix,
+    psi_multialg_speedup_table,
+    psi_race_time,
+    psi_speedup_table,
+    rewriting_aet_table,
+    rewriting_hard_pct_table,
+    rewriting_speedup_table,
+    size_breakdown_table,
+    stragglers_wla_table,
+)
+from repro.psi import OverheadModel
+
+
+@pytest.fixture(scope="module")
+def nfv_matrix():
+    cfg = NFVExperimentConfig.tiny("yeast")
+    return measure_nfv_matrix(cfg, scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def ftv_matrix():
+    cfg = FTVExperimentConfig.tiny("ppi")
+    return measure_ftv_matrix(cfg, scale="tiny")
+
+
+class TestBuilders:
+    def test_nfv_names(self):
+        assert build_nfv_graph("yeast", "tiny").order > 0
+        with pytest.raises(ValueError):
+            build_nfv_graph("mars")
+        with pytest.raises(ValueError):
+            build_nfv_graph("yeast", "giant")
+
+    def test_ftv_names(self):
+        assert len(build_ftv_graphs("ppi", "tiny")) > 0
+        with pytest.raises(ValueError):
+            build_ftv_graphs("mars")
+
+
+class TestNFVMatrix:
+    def test_complete(self, nfv_matrix):
+        m = nfv_matrix
+        expected = (
+            len(m.queries) * len(m.methods) * len(ALL_VARIANT_NAMES)
+        )
+        assert len(m.records) == expected
+
+    def test_charged_clamped(self, nfv_matrix):
+        m = nfv_matrix
+        for u in m.units:
+            for alg in m.methods:
+                assert m.charged(u, alg, "Orig") >= 1
+
+    def test_unit_sizes(self, nfv_matrix):
+        m = nfv_matrix
+        assert {m.unit_size(u) for u in m.units} == {4}
+
+    def test_satisfiable_unless_killed(self, nfv_matrix):
+        m = nfv_matrix
+        for u in m.units:
+            rec = m.record(u, "GQL", "Orig")
+            assert rec.found or rec.killed
+
+
+class TestFTVMatrix:
+    def test_pairs_and_records(self, ftv_matrix):
+        m = ftv_matrix
+        assert len(m.pairs) >= len(m.queries)  # source graph at least
+        expected = len(m.pairs) * len(m.methods) * len(ALL_VARIANT_NAMES)
+        assert len(m.records) == expected
+
+    def test_grapes4_never_slower(self, ftv_matrix):
+        m = ftv_matrix
+        for u in m.units:
+            assert m.charged(u, "Grapes/4", "Orig") <= m.charged(
+                u, "Grapes/1", "Orig"
+            )
+
+    def test_source_pair_matches(self, ftv_matrix):
+        m = ftv_matrix
+        for u in m.units:
+            qi, gid = m.pairs[u]
+            if gid == m.queries[qi].source_graph_id:
+                rec = m.record(u, "Grapes/1", "Orig")
+                assert rec.found or rec.killed
+
+
+ALG_SETS = [("pair", ("GQL", "SPA")), ("triple", ("GQL", "SPA", "QSI"))]
+
+
+class TestDrivers:
+    def test_all_nfv_drivers_render(self, nfv_matrix):
+        m = nfv_matrix
+        tables = [
+            stragglers_wla_table(m, "t"),
+            band_percentages_table(m, "t"),
+            size_breakdown_table(m, "t"),
+            maxmin_table(m, "t"),
+            rewriting_aet_table(m, "t"),
+            rewriting_hard_pct_table(m, "t"),
+            rewriting_speedup_table(m, "t"),
+            alt_algorithm_speedup_table(m, "t", ALG_SETS),
+            psi_speedup_table(m, "t", PSI_NFV_REWRITING_SETS),
+            psi_speedup_table(m, "t", PSI_NFV_REWRITING_SETS, mode="wla"),
+            psi_multialg_speedup_table(
+                m, "t", PSI_NFV_MULTIALG_SETS, baseline="GQL"
+            ),
+            psi_multialg_speedup_table(
+                m, "t", PSI_NFV_MULTIALG_SETS, baseline="SPA", mode="wla"
+            ),
+        ]
+        for t in tables:
+            text = t.render()
+            assert "t" in text
+            assert t.rows
+
+    def test_all_ftv_drivers_render(self, ftv_matrix):
+        m = ftv_matrix
+        tables = [
+            stragglers_wla_table(m, "t"),
+            band_percentages_table(m, "t"),
+            maxmin_table(m, "t"),
+            rewriting_aet_table(m, "t"),
+            rewriting_speedup_table(m, "t"),
+            psi_speedup_table(m, "t", PSI_FTV_VARIANT_SETS),
+            grapes_psi_by_size_table(m, "t"),
+        ]
+        for t in tables:
+            assert t.rows
+
+    def test_killed_pct_table(self, nfv_matrix, ftv_matrix):
+        entries = [
+            (
+                "ppi", "Grapes/4", ftv_matrix,
+                [("Grapes/1", rw) for rw in ("ILF", "IND", "DND")],
+            ),
+            (
+                "yeast", "GQL", nfv_matrix,
+                [("GQL", "Orig"), ("SPA", "Orig")],
+            ),
+        ]
+        t = killed_pct_table(entries)
+        assert len(t.rows) == 2
+
+    def test_psi_race_time_is_min_plus_overhead(self, nfv_matrix):
+        m = nfv_matrix
+        over = OverheadModel(per_variant_steps=10)
+        members = [("GQL", "Orig"), ("SPA", "Orig")]
+        for u in m.units:
+            t, killed = psi_race_time(m, u, members, over)
+            recs = [m.record(u, a, r) for a, r in members]
+            if all(r.killed for r in recs):
+                assert killed
+            else:
+                best = min(
+                    r.steps for r in recs if not r.killed
+                )
+                assert t == max(1, best + 20)
+
+    def test_psi_speedup_mode_validation(self, nfv_matrix):
+        with pytest.raises(ValueError):
+            psi_speedup_table(
+                nfv_matrix, "t", PSI_NFV_REWRITING_SETS, mode="avg"
+            )
+        with pytest.raises(ValueError):
+            psi_multialg_speedup_table(
+                nfv_matrix, "t", PSI_NFV_MULTIALG_SETS,
+                baseline="GQL", mode="avg",
+            )
+
+
+class TestTable:
+    def test_row_length_checked(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_formats(self):
+        t = Table("title", ["col"])
+        t.add_row(float("nan"))
+        t.add_row(1234567.0)
+        t.add_row(0.5)
+        t.add_note("note text")
+        text = t.render()
+        assert "-" in text
+        assert "1.23e+06" in text
+        assert "0.50" in text
+        assert "note text" in text
+
+    def test_column_extraction(self):
+        t = Table("x", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]

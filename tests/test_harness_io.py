@@ -1,0 +1,91 @@
+"""Tests for cost-matrix persistence and table export."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    FTVExperimentConfig,
+    NFVExperimentConfig,
+    Table,
+    load_matrix,
+    measure_ftv_matrix,
+    measure_nfv_matrix,
+    save_matrix,
+    stragglers_wla_table,
+    table_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def nfv_matrix():
+    cfg = NFVExperimentConfig.tiny("yeast")
+    return measure_nfv_matrix(cfg, scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def ftv_matrix():
+    cfg = FTVExperimentConfig.tiny("ppi")
+    return measure_ftv_matrix(cfg, scale="tiny")
+
+
+class TestMatrixRoundTrip:
+    def test_nfv_round_trip(self, nfv_matrix, tmp_path):
+        path = tmp_path / "nfv.json"
+        save_matrix(path, nfv_matrix)
+        loaded = load_matrix(path)
+        assert loaded.dataset == nfv_matrix.dataset
+        assert loaded.methods == nfv_matrix.methods
+        assert loaded.records == {
+            k: v for k, v in nfv_matrix.records.items()
+        }
+        assert len(loaded.queries) == len(nfv_matrix.queries)
+        # drivers behave identically on the reloaded matrix
+        a = stragglers_wla_table(nfv_matrix, "t").render()
+        b = stragglers_wla_table(loaded, "t").render()
+        assert a == b
+
+    def test_ftv_round_trip(self, ftv_matrix, tmp_path):
+        path = tmp_path / "ftv.json"
+        save_matrix(path, ftv_matrix)
+        loaded = load_matrix(path)
+        assert loaded.pairs == ftv_matrix.pairs
+        assert loaded.records == ftv_matrix.records
+        assert loaded.thresholds == ftv_matrix.thresholds
+
+    def test_queries_survive(self, nfv_matrix, tmp_path):
+        path = tmp_path / "m.json"
+        save_matrix(path, nfv_matrix)
+        loaded = load_matrix(path)
+        for orig, back in zip(nfv_matrix.queries, loaded.queries):
+            assert back.graph.same_labeled_structure(orig.graph)
+            assert back.num_edges == orig.num_edges
+
+    def test_version_check(self, nfv_matrix, tmp_path):
+        path = tmp_path / "m.json"
+        save_matrix(path, nfv_matrix)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_matrix(path)
+
+    def test_kind_check(self, nfv_matrix, tmp_path):
+        path = tmp_path / "m.json"
+        save_matrix(path, nfv_matrix)
+        payload = json.loads(path.read_text())
+        payload["kind"] = "weird"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_matrix(path)
+
+
+class TestTableExport:
+    def test_table_to_json(self):
+        t = Table("title", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_note("n")
+        payload = json.loads(table_to_json(t))
+        assert payload["title"] == "title"
+        assert payload["rows"] == [[1, 2.5]]
+        assert payload["notes"] == ["n"]

@@ -1,0 +1,109 @@
+"""Tests for exact labeled-graph isomorphism."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    LabeledGraph,
+    are_isomorphic,
+    gnm_graph,
+    isomorphism_invariant_key,
+    uniform_labels,
+)
+
+from .conftest import triangle_with_tail
+
+
+class TestPositive:
+    def test_identical_graphs(self):
+        assert are_isomorphic(
+            triangle_with_tail(), triangle_with_tail()
+        )
+
+    def test_permuted_graphs(self):
+        g = triangle_with_tail()
+        for seed in range(10):
+            perm = list(g.vertices())
+            random.Random(seed).shuffle(perm)
+            assert are_isomorphic(g, g.permuted(perm))
+
+    def test_random_permuted_graphs(self):
+        rng = random.Random(3)
+        g = gnm_graph(
+            18, 40, uniform_labels(18, ["A", "B"], rng), rng
+        )
+        perm = list(g.vertices())
+        rng.shuffle(perm)
+        assert are_isomorphic(g, g.permuted(perm))
+
+    def test_empty_graphs(self):
+        assert are_isomorphic(LabeledGraph(0, []), LabeledGraph(0, []))
+
+    def test_regular_same_label_graphs(self):
+        """Hard case for invariants: two 6-cycles are isomorphic."""
+        c1 = LabeledGraph.from_edges(
+            ["A"] * 6, [(i, (i + 1) % 6) for i in range(6)]
+        )
+        perm = [3, 5, 1, 0, 4, 2]
+        assert are_isomorphic(c1, c1.permuted(perm))
+
+
+class TestNegative:
+    def test_different_orders(self):
+        assert not are_isomorphic(
+            LabeledGraph(1, ["A"]), LabeledGraph(2, ["A", "A"])
+        )
+
+    def test_different_labels(self):
+        a = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+        b = LabeledGraph.from_edges(["A", "C"], [(0, 1)])
+        assert not are_isomorphic(a, b)
+
+    def test_same_invariants_different_structure(self):
+        """C6 vs two C3s: same label/degree multiset, not isomorphic."""
+        c6 = LabeledGraph.from_edges(
+            ["A"] * 6, [(i, (i + 1) % 6) for i in range(6)]
+        )
+        c3c3 = LabeledGraph.from_edges(
+            ["A"] * 6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        )
+        assert not are_isomorphic(c6, c3c3)
+
+    def test_different_edge_placement(self):
+        # path A-B-A-B vs star: same degree sequence? no — use a case
+        # with equal degree sequences but different wiring
+        p4 = LabeledGraph.from_edges(
+            ["A", "B", "A", "B"], [(0, 1), (1, 2), (2, 3)]
+        )
+        # A-B edge swapped to make labels attach differently
+        other = LabeledGraph.from_edges(
+            ["A", "B", "A", "B"], [(0, 1), (0, 3), (2, 3)]
+        )
+        # p4 has degree-2 vertices labeled B,A; other has A? compare
+        assert are_isomorphic(p4, other) == (
+            isomorphism_invariant_key(p4)
+            == isomorphism_invariant_key(other)
+            and are_isomorphic(p4, other)
+        )
+
+
+class TestInvariantKey:
+    def test_equal_for_isomorphic(self):
+        g = triangle_with_tail()
+        perm = [2, 0, 3, 1]
+        assert isomorphism_invariant_key(g) == (
+            isomorphism_invariant_key(g.permuted(perm))
+        )
+
+    def test_differs_on_size(self):
+        a = LabeledGraph.from_edges(["A", "A"], [(0, 1)])
+        b = LabeledGraph(2, ["A", "A"])
+        assert isomorphism_invariant_key(a) != (
+            isomorphism_invariant_key(b)
+        )
+
+    def test_hashable(self):
+        key = isomorphism_invariant_key(triangle_with_tail())
+        assert hash(key) == hash(key)

@@ -1,0 +1,126 @@
+"""Tests for the paper's metrics (§3.5)."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    Band,
+    CostRecord,
+    Thresholds,
+    band_breakdown,
+    classify,
+    max_min_ratio,
+    qla_ratio,
+    speedup_values,
+    summarize_distribution,
+    wla_ratio,
+)
+
+T = Thresholds(easy_steps=100, budget_steps=1000)
+
+
+def rec(steps, killed=False, found=True):
+    return CostRecord(steps=steps, found=found, killed=killed)
+
+
+class TestClassification:
+    def test_bands(self):
+        assert classify(rec(50), T) is Band.EASY
+        assert classify(rec(100), T) is Band.MID
+        assert classify(rec(999), T) is Band.MID
+        assert classify(rec(1000, killed=True), T) is Band.HARD
+
+    def test_charged(self):
+        assert rec(50).charged(T) == 50
+        assert rec(700, killed=True).charged(T) == 1000
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            Thresholds(easy_steps=0, budget_steps=10)
+        with pytest.raises(ValueError):
+            Thresholds(easy_steps=10, budget_steps=10)
+
+
+class TestBandBreakdown:
+    def test_averages_and_percentages(self):
+        records = [rec(10), rec(30), rec(500), rec(1000, killed=True)]
+        bd = band_breakdown(records, T)
+        assert bd.avg_easy == pytest.approx(20)
+        assert bd.avg_mid == pytest.approx(500)
+        assert bd.avg_completed == pytest.approx(180)
+        assert bd.pct_easy == pytest.approx(50)
+        assert bd.pct_mid == pytest.approx(25)
+        assert bd.pct_hard == pytest.approx(25)
+
+    def test_empty_band_is_nan(self):
+        bd = band_breakdown([rec(10)], T)
+        assert math.isnan(bd.avg_mid)
+        rows = dict(bd.as_rows())
+        assert rows["AET 2''-600'' (steps)"] == "-"
+
+    def test_no_records_rejected(self):
+        with pytest.raises(ValueError):
+            band_breakdown([], T)
+
+
+class TestRatios:
+    def test_wla_vs_qla_differ(self):
+        """The paper's §3.5 point: the two aggregations tell different
+        stories on skewed data."""
+        baseline = [100.0, 1000.0]
+        improved = [1.0, 1000.0]
+        # WLA: 1100/1001 ~ 1.1 ; QLA: avg(100, 1) = 50.5
+        assert wla_ratio(baseline, improved) == pytest.approx(
+            1100 / 1001
+        )
+        assert qla_ratio(baseline, improved) == pytest.approx(50.5)
+
+    def test_wla_validation(self):
+        with pytest.raises(ValueError):
+            wla_ratio([], [])
+        with pytest.raises(ValueError):
+            wla_ratio([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            wla_ratio([1.0], [0.0])
+
+    def test_qla_validation(self):
+        with pytest.raises(ValueError):
+            qla_ratio([1.0], [0.0])
+
+    def test_max_min(self):
+        assert max_min_ratio([2.0, 10.0, 4.0]) == pytest.approx(5.0)
+        assert max_min_ratio([3.0]) == 1.0
+        with pytest.raises(ValueError):
+            max_min_ratio([])
+        with pytest.raises(ValueError):
+            max_min_ratio([0.0, 1.0])
+
+    def test_speedup_values(self):
+        out = speedup_values([10.0, 20.0], [5.0, 20.0])
+        assert out == [2.0, 1.0]
+        with pytest.raises(ValueError):
+            speedup_values([1.0], [0.0])
+
+
+class TestDistributionSummary:
+    def test_stats(self):
+        s = summarize_distribution([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+        assert s.stddev > 0
+
+    def test_single_value(self):
+        s = summarize_distribution([7.0])
+        assert s.stddev == 0.0
+        assert s.median == 7.0
+
+    def test_rows(self):
+        rows = dict(summarize_distribution([2.0]).as_rows())
+        assert rows["avg"] == "2.00"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_distribution([])

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategy: generate small random labeled stores and connected queries
+grown from them, then assert the library's fundamental contracts:
+
+* node-ID permutation yields isomorphic graphs (invariants preserved);
+* every matcher agrees with brute force on found/count;
+* rewritings are valid permutations and preserve answers;
+* the path census is permutation-invariant and prefix-closed;
+* race outcomes equal the per-variant minimum.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import LabeledGraph
+from repro.indexing import label_path_census
+from repro.matching import make_matcher
+from repro.psi import AttemptCost, OverheadModel, race_from_costs
+from repro.rewriting import ALL_PAPER_REWRITINGS, LabelStats, make_rewriting
+from repro.workload import extract_query
+
+from .conftest import canonical_embeddings
+
+ALGORITHMS = ("VF2", "QSI", "GQL", "SPA", "ULL", "TUR")
+
+
+@st.composite
+def stores(draw, max_nodes=14):
+    """A small connected labeled graph."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    labels = draw(
+        st.lists(
+            st.sampled_from(["A", "B", "C"]), min_size=n, max_size=n
+        )
+    )
+    g = LabeledGraph(n, labels)
+    # random spanning tree for connectivity
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        g.add_edge(order[i], order[rng.randrange(i)])
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def store_and_query(draw):
+    g = draw(stores())
+    max_edges = min(5, g.size)
+    k = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    q = extract_query(g, k, random.Random(seed))
+    return g, q
+
+
+@st.composite
+def permutations_of(draw, n):
+    perm = list(range(n))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    random.Random(seed).shuffle(perm)
+    return perm
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_permutation_preserves_invariants(data):
+    g = data.draw(stores())
+    perm = data.draw(permutations_of(g.order))
+    h = g.permuted(perm)
+    assert h.order == g.order
+    assert h.size == g.size
+    assert h.degree_label_signature() == g.degree_label_signature()
+    assert sorted(map(len, h.connected_components())) == sorted(
+        map(len, g.connected_components())
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_all_matchers_agree_with_brute_force(data):
+    g, q = data.draw(store_and_query())
+    ref = make_matcher("REF").run(g, q, max_embeddings=10**6)
+    base = canonical_embeddings(ref.embeddings)
+    for alg in ALGORITHMS:
+        out = make_matcher(alg).run(g, q, max_embeddings=10**6)
+        assert out.found == ref.found
+        assert canonical_embeddings(out.embeddings) == base
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_matching_invariant_under_store_permutation(data):
+    """Permuting the *stored graph* relabels embeddings but preserves
+    their count — the decision answer is representation-independent."""
+    g, q = data.draw(store_and_query())
+    perm = data.draw(permutations_of(g.order))
+    h = g.permuted(perm)
+    a = make_matcher("VF2").run(g, q, max_embeddings=10**6)
+    b = make_matcher("VF2").run(h, q, max_embeddings=10**6)
+    assert a.num_embeddings == b.num_embeddings
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_rewritings_are_valid_and_answer_preserving(data):
+    g, q = data.draw(store_and_query())
+    stats = LabelStats.of_graph(g)
+    expected = make_matcher("VF2").run(g, q, max_embeddings=10**6)
+    for name in ("Orig",) + ALL_PAPER_REWRITINGS:
+        rq = make_rewriting(name).apply(q, stats)
+        assert sorted(rq.perm) == list(range(q.order))
+        out = make_matcher("VF2").run(
+            g, rq.graph, max_embeddings=10**6
+        )
+        assert out.num_embeddings == expected.num_embeddings
+        translated = [
+            rq.translate_embedding(e) for e in out.embeddings
+        ]
+        assert canonical_embeddings(translated) == (
+            canonical_embeddings(expected.embeddings)
+        )
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_census_permutation_invariant(data):
+    g = data.draw(stores(max_nodes=10))
+    perm = data.draw(permutations_of(g.order))
+    a = label_path_census(g, 3)
+    b = label_path_census(g.permuted(perm), 3)
+    assert a.counts == b.counts
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_census_query_counts_dominated_by_store(data):
+    """Soundness of FTV count pruning: a subgraph's census counts never
+    exceed its supergraph's."""
+    g, q = data.draw(store_and_query())
+    qc = label_path_census(q, 2)
+    gc = label_path_census(g, 2)
+    for seq, needed in qc.counts.items():
+        assert gc.counts.get(seq, 0) >= needed
+
+
+@given(
+    costs=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10**6),
+            st.booleans(),
+            st.booleans(),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    overhead=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_race_from_costs_is_min_of_completions(costs, overhead):
+    table = {
+        i: AttemptCost(steps=s, found=f and not k, killed=k)
+        for i, (s, f, k) in enumerate(costs)
+    }
+    race = race_from_costs(
+        table,
+        budget_steps=10**6,
+        overhead=OverheadModel(per_variant_steps=overhead),
+    )
+    completing = [c for c in table.values() if not c.killed]
+    if completing:
+        assert not race.killed
+        assert race.steps == (
+            min(c.steps for c in completing) + overhead * len(table)
+        )
+    else:
+        assert race.killed
+        assert race.steps == 10**6 + overhead * len(table)

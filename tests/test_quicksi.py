@@ -1,0 +1,97 @@
+"""QuickSI-specific tests: QI-sequence structure and ordering."""
+
+import random
+
+from repro.graphs import LabeledGraph, gnm_graph, uniform_labels
+from repro.matching import GraphIndex, QuickSIMatcher, build_qi_sequence
+
+from .conftest import random_query_from, triangle_with_tail
+
+
+def _index():
+    rng = random.Random(3)
+    g = gnm_graph(
+        25, 50, uniform_labels(25, ["A", "B", "C"], rng), rng
+    )
+    return GraphIndex(g), g
+
+
+class TestQISequence:
+    def test_covers_all_vertices_once(self):
+        ix, g = _index()
+        q = random_query_from(g, 6, 2)
+        seq = build_qi_sequence(ix, q)
+        vertices = [e.vertex for e in seq]
+        assert sorted(vertices) == list(q.vertices())
+
+    def test_root_has_no_parent(self):
+        ix, g = _index()
+        q = random_query_from(g, 5, 4)
+        seq = build_qi_sequence(ix, q)
+        assert seq[0].parent is None
+
+    def test_parents_precede_children(self):
+        ix, g = _index()
+        q = random_query_from(g, 7, 6)
+        seq = build_qi_sequence(ix, q)
+        seen = set()
+        for entry in seq:
+            if entry.parent is not None:
+                assert entry.parent in seen
+            for b in entry.back_edges:
+                assert b in seen
+            seen.add(entry.vertex)
+
+    def test_tree_plus_back_edges_cover_query_edges(self):
+        ix, g = _index()
+        q = random_query_from(g, 6, 8)
+        seq = build_qi_sequence(ix, q)
+        covered = set()
+        for entry in seq:
+            if entry.parent is not None:
+                covered.add(
+                    (min(entry.vertex, entry.parent),
+                     max(entry.vertex, entry.parent))
+                )
+            for b in entry.back_edges:
+                covered.add(
+                    (min(entry.vertex, b), max(entry.vertex, b))
+                )
+        assert covered == set(q.edges())
+
+    def test_root_prefers_infrequent_label(self):
+        g = LabeledGraph.from_edges(
+            ["A", "A", "A", "B"], [(0, 1), (1, 2), (2, 3)]
+        )
+        ix = GraphIndex(g)
+        q = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+        seq = build_qi_sequence(ix, q)
+        # label B occurs once in the store, A three times
+        assert q.label(seq[0].vertex) == "B"
+
+    def test_disconnected_query_handled(self):
+        ix, g = _index()
+        q = LabeledGraph(4, ["A", "B", "A", "C"])
+        q.add_edge(0, 1)
+        q.add_edge(2, 3)
+        seq = build_qi_sequence(ix, q)
+        assert sorted(e.vertex for e in seq) == [0, 1, 2, 3]
+        # two tree roots
+        assert sum(1 for e in seq if e.parent is None) == 2
+
+
+class TestMatching:
+    def test_matches_triangle_tail(self):
+        g = triangle_with_tail()
+        q = LabeledGraph.from_edges(["B", "C"], [(0, 1)])
+        out = QuickSIMatcher().run(g, q, max_embeddings=10)
+        assert out.num_embeddings == 1
+
+    def test_degree_filter_applies(self):
+        # hub query vertex cannot map to a degree-1 store vertex
+        g = LabeledGraph.from_edges(
+            ["A", "B", "B", "B"], [(0, 1), (0, 2), (0, 3)]
+        )
+        q = LabeledGraph.from_edges(["A", "B", "B"], [(0, 1), (0, 2)])
+        out = QuickSIMatcher().run(g, q, max_embeddings=100)
+        assert all(emb[0] == 0 for emb in out.embeddings)

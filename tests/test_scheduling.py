@@ -1,0 +1,102 @@
+"""Tests for the deterministic parallel-schedule simulator."""
+
+import pytest
+
+from repro.scheduling import TaskResult, first_match_schedule
+
+
+def fixed(steps, found=False, killed=False):
+    """A task with a precomputed cost, truncated to its allowance."""
+
+    def run(allowance):
+        if steps > allowance:
+            return TaskResult(steps=allowance, found=False, killed=True)
+        return TaskResult(steps=steps, found=found, killed=killed)
+
+    return run
+
+
+class TestSequential:
+    def test_sum_until_first_match(self):
+        tasks = [fixed(10), fixed(20, found=True), fixed(99)]
+        out = first_match_schedule(tasks, workers=1)
+        assert out.found
+        assert out.time == 30
+        assert out.executed == 2  # third task never starts
+
+    def test_no_match_makespan(self):
+        out = first_match_schedule([fixed(10), fixed(5)], workers=1)
+        assert not out.found
+        assert out.time == 15
+        assert not out.killed
+
+    def test_budget_kills(self):
+        out = first_match_schedule(
+            [fixed(100), fixed(100)], workers=1, budget_steps=150
+        )
+        assert out.killed
+        assert out.time == 150
+
+    def test_match_on_budget_boundary(self):
+        out = first_match_schedule(
+            [fixed(100, found=True)], workers=1, budget_steps=100
+        )
+        assert out.found
+        assert out.time == 100
+
+
+class TestParallel:
+    def test_race_takes_min(self):
+        tasks = [fixed(50, found=True), fixed(10, found=True)]
+        out = first_match_schedule(tasks, workers=2)
+        assert out.found
+        assert out.time == 10
+
+    def test_makespan_without_match(self):
+        tasks = [fixed(50), fixed(10), fixed(30)]
+        out = first_match_schedule(tasks, workers=2)
+        # worker0: 50 ; worker1: 10 + 30 = 40
+        assert out.time == 50
+
+    def test_lazy_skips_tasks_after_win(self):
+        tasks = [fixed(5, found=True), fixed(100), fixed(100)]
+        out = first_match_schedule(tasks, workers=1)
+        assert out.executed == 1
+
+    def test_workers_never_hurt(self):
+        tasks = [fixed(30), fixed(30), fixed(30), fixed(30, found=True)]
+        t1 = first_match_schedule(tasks, workers=1).time
+        t4 = first_match_schedule(tasks, workers=4).time
+        assert t4 <= t1
+
+    def test_later_finish_not_preferred(self):
+        # first task finds at 100, second (same worker start 0 on w2)
+        # finds at 20: winner is the earliest finish
+        tasks = [fixed(100, found=True), fixed(20, found=True)]
+        out = first_match_schedule(tasks, workers=2)
+        assert out.time == 20
+
+    def test_allowance_respects_earlier_win(self):
+        calls = []
+
+        def probe(allowance):
+            calls.append(allowance)
+            return TaskResult(steps=min(allowance, 1000), found=False,
+                              killed=allowance < 1000)
+
+        tasks = [fixed(10, found=True), probe]
+        first_match_schedule(tasks, workers=2, budget_steps=500)
+        # the probe may run at most until the winner's finish time
+        assert calls == [10]
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            first_match_schedule([fixed(1)], workers=0)
+
+    def test_empty_tasks(self):
+        out = first_match_schedule([], workers=2)
+        assert out.time == 0
+        assert not out.found
+        assert not out.killed

@@ -1,0 +1,83 @@
+"""TurboISO-specific tests: regions, start vertex, pruning."""
+
+import random
+
+import pytest
+
+from repro.graphs import LabeledGraph, gnm_graph, uniform_labels
+from repro.matching import TurboISOMatcher, make_matcher
+
+from .conftest import canonical_embeddings, random_query_from
+
+
+def test_registered():
+    assert isinstance(make_matcher("TUR"), TurboISOMatcher)
+
+
+def test_simple_match():
+    g = LabeledGraph.from_edges(
+        ["A", "B", "C", "B"], [(0, 1), (1, 2), (2, 3)]
+    )
+    q = LabeledGraph.from_edges(["B", "C"], [(0, 1)])
+    out = TurboISOMatcher().run(g, q, max_embeddings=10)
+    assert out.num_embeddings == 2  # both Bs flank the C
+
+
+def test_region_pruning_skips_dead_roots():
+    """Roots whose region lacks a required label are pruned without
+    entering the join search."""
+    # two stars: one A-hub with B leaves, one A-hub with C leaves
+    g = LabeledGraph(6, ["A", "B", "B", "A", "C", "C"])
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(3, 4)
+    g.add_edge(3, 5)
+    q = LabeledGraph.from_edges(["A", "C"], [(0, 1)])
+    out = TurboISOMatcher().run(g, q, max_embeddings=10)
+    assert out.num_embeddings == 2
+    # the A-with-B-leaves region must have been rejected cheaply: the
+    # total cost stays below a handful of steps per stored vertex
+    assert out.steps < 20
+
+
+def test_agreement_on_dense_store(medium_store):
+    query = random_query_from(medium_store, 7, 19)
+    ref = make_matcher("REF").run(
+        medium_store, query, max_embeddings=10**6
+    )
+    out = TurboISOMatcher().run(
+        medium_store, query, max_embeddings=10**6
+    )
+    assert canonical_embeddings(out.embeddings) == (
+        canonical_embeddings(ref.embeddings)
+    )
+
+
+def test_disconnected_query(small_store):
+    q = LabeledGraph(3, [small_store.label(0), "A", "B"])
+    q.add_edge(1, 2)
+    ref = make_matcher("REF").run(small_store, q, max_embeddings=10**6)
+    out = TurboISOMatcher().run(small_store, q, max_embeddings=10**6)
+    assert out.num_embeddings == ref.num_embeddings
+
+
+def test_cost_profile_differs_from_vf2(medium_store):
+    """TurboISO must be a genuinely *different* portfolio member: over a
+    set of queries its costs differ from VF2's (in either direction)."""
+    diffs = 0
+    for seed in range(6):
+        query = random_query_from(medium_store, 7, 300 + seed)
+        a = make_matcher("VF2").run(
+            medium_store, query, max_embeddings=1
+        )
+        b = make_matcher("TUR").run(
+            medium_store, query, max_embeddings=1
+        )
+        if a.steps != b.steps:
+            diffs += 1
+    assert diffs >= 3
+
+
+def test_empty_query_rejected(small_store):
+    with pytest.raises(ValueError):
+        TurboISOMatcher().run(small_store, LabeledGraph(0, []))

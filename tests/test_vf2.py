@@ -1,0 +1,168 @@
+"""VF2-specific tests: pruning soundness, ID sensitivity, root slicing."""
+
+import random
+
+import pytest
+
+from repro.graphs import LabeledGraph, gnm_graph, uniform_labels
+from repro.matching import GraphIndex, VF2Matcher, drive, make_matcher
+
+from .conftest import canonical_embeddings, random_query_from
+
+
+def test_finds_triangle():
+    g = LabeledGraph.from_edges(
+        ["A", "A", "A", "A"], [(0, 1), (1, 2), (0, 2), (2, 3)]
+    )
+    q = LabeledGraph.from_edges(["A", "A", "A"], [(0, 1), (1, 2), (0, 2)])
+    out = VF2Matcher().run(g, q, max_embeddings=100)
+    # the triangle {0,1,2} has 3! automorphic embeddings
+    assert out.num_embeddings == 6
+
+
+def test_non_induced_semantics():
+    """A path query must match inside a triangle (non-induced sub-iso)."""
+    g = LabeledGraph.from_edges(["A", "A", "A"], [(0, 1), (1, 2), (0, 2)])
+    q = LabeledGraph.from_edges(["A", "A", "A"], [(0, 1), (1, 2)])
+    out = VF2Matcher().run(g, q, max_embeddings=100)
+    assert out.found
+    assert out.num_embeddings == 6  # 3 choices of middle x 2 directions
+
+
+def test_label_mismatch_pruned_immediately():
+    g = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+    q = LabeledGraph.from_edges(["A", "C"], [(0, 1)])
+    out = VF2Matcher().run(g, q)
+    assert not out.found
+    assert out.exhausted
+
+
+def test_query_larger_than_graph_refuted_for_free():
+    g = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+    q = LabeledGraph.from_edges(
+        ["A", "B", "A"], [(0, 1), (1, 2), (0, 2)]
+    )
+    out = VF2Matcher().run(g, q)
+    assert not out.found
+    assert out.steps == 0
+
+
+def test_node_id_order_changes_cost(small_store):
+    """The reproduction's central lever: permuting query IDs changes the
+    VF2 step count (while preserving the answer)."""
+    query = random_query_from(small_store, 6, 3)
+    costs = set()
+    for seed in range(12):
+        perm = list(query.vertices())
+        random.Random(seed).shuffle(perm)
+        out = VF2Matcher().run(
+            small_store, query.permuted(perm), max_embeddings=1
+        )
+        costs.add(out.steps)
+    assert len(costs) > 1
+
+
+class TestRootSlicing:
+    """Grapes' parallelisation contract: slicing the root candidates
+    partitions the search exactly."""
+
+    def _setup(self):
+        rng = random.Random(17)
+        g = gnm_graph(
+            30, 70, uniform_labels(30, ["A", "B"], rng), rng
+        )
+        q = random_query_from(g, 5, 23)
+        return g, q
+
+    def test_slices_cover_full_search(self):
+        g, q = self._setup()
+        m = VF2Matcher()
+        ix = m.prepare(g)
+        full = m.run(ix, q, max_embeddings=10**6)
+        roots = ix.candidates_by_label(q.label(0))
+        half = len(roots) // 2
+        parts = [roots[:half], roots[half:]]
+        embeddings = []
+        total_steps = 0
+        for part in parts:
+            gen = m.engine(
+                ix, q, max_embeddings=10**6, root_candidates=tuple(part)
+            )
+            out = drive(gen)
+            embeddings.extend(out.embeddings)
+            total_steps += out.steps
+        assert canonical_embeddings(embeddings) == canonical_embeddings(
+            full.embeddings
+        )
+        assert total_steps == full.steps
+
+    def test_empty_slice_is_cheap(self):
+        g, q = self._setup()
+        m = VF2Matcher()
+        ix = m.prepare(g)
+        gen = m.engine(ix, q, max_embeddings=1, root_candidates=())
+        out = drive(gen)
+        assert not out.found
+        assert out.steps == 0
+
+    def test_root_filter_ignores_wrong_labels(self):
+        g, q = self._setup()
+        m = VF2Matcher()
+        ix = m.prepare(g)
+        # pass every vertex: label filtering inside must keep it sound
+        gen = m.engine(
+            ix, q, max_embeddings=10**6,
+            root_candidates=tuple(g.vertices()),
+        )
+        out = drive(gen)
+        ref = m.run(ix, q, max_embeddings=10**6)
+        assert canonical_embeddings(out.embeddings) == (
+            canonical_embeddings(ref.embeddings)
+        )
+
+
+def test_lookahead_never_false_dismisses(medium_store):
+    """VF2 with pruning finds exactly what brute force finds (already
+    covered by agreement tests; this pins a larger store)."""
+    query = random_query_from(medium_store, 6, 41)
+    ref = make_matcher("REF").run(medium_store, query, max_embeddings=10**6)
+    out = VF2Matcher().run(medium_store, query, max_embeddings=10**6)
+    assert canonical_embeddings(out.embeddings) == canonical_embeddings(
+        ref.embeddings
+    )
+
+
+class TestSelectionPolicies:
+    def test_all_policies_agree_on_answers(self, small_store):
+        from repro.matching import SELECTION_POLICIES
+
+        query = random_query_from(small_store, 6, 51)
+        base = None
+        for policy in SELECTION_POLICIES:
+            out = VF2Matcher(selection=policy).run(
+                small_store, query, max_embeddings=10**6
+            )
+            embs = canonical_embeddings(out.embeddings)
+            if base is None:
+                base = embs
+            assert embs == base
+
+    def test_policies_change_cost(self, medium_store):
+        from repro.matching import SELECTION_POLICIES
+
+        query = random_query_from(medium_store, 8, 61)
+        steps = {
+            policy: VF2Matcher(selection=policy)
+            .run(medium_store, query, max_embeddings=1)
+            .steps
+            for policy in SELECTION_POLICIES
+        }
+        assert len(set(steps.values())) > 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            VF2Matcher(selection="alphabetical")
+
+    def test_policy_reflected_in_name(self):
+        assert VF2Matcher().name == "VF2"
+        assert VF2Matcher(selection="rarity").name == "VF2[rarity]"

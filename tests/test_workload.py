@@ -1,0 +1,99 @@
+"""Tests for the query workload generator (paper §3.4)."""
+
+import random
+
+import pytest
+
+from repro.graphs import GraphError, LabeledGraph, gnm_graph, uniform_labels
+from repro.matching import VF2Matcher
+from repro.workload import extract_query, generate_workload
+
+
+def _store(seed=1, n=30, m=60):
+    rng = random.Random(seed)
+    return gnm_graph(n, m, uniform_labels(n, ["A", "B", "C"], rng), rng)
+
+
+class TestExtractQuery:
+    def test_requested_size(self):
+        g = _store()
+        q = extract_query(g, 7, random.Random(2))
+        assert q.size == 7
+
+    def test_connected(self):
+        g = _store()
+        for seed in range(8):
+            q = extract_query(g, 6, random.Random(seed))
+            assert q.is_connected()
+
+    def test_query_always_satisfiable(self):
+        """Queries are subgraphs of the store: an embedding must exist
+        (this is what makes killed queries true stragglers)."""
+        g = _store()
+        for seed in range(6):
+            q = extract_query(g, 5, random.Random(seed))
+            out = VF2Matcher().decide(g, q)
+            assert out.found
+
+    def test_deterministic(self):
+        g = _store()
+        a = extract_query(g, 6, random.Random(5))
+        b = extract_query(g, 6, random.Random(5))
+        assert a.same_labeled_structure(b)
+
+    def test_zero_edges_rejected(self):
+        g = _store()
+        with pytest.raises(GraphError):
+            extract_query(g, 0, random.Random(1))
+
+    def test_oversized_rejected(self):
+        g = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+        with pytest.raises(GraphError):
+            extract_query(g, 5, random.Random(1))
+
+    def test_small_component_exhausted(self):
+        g = LabeledGraph(4, ["A", "B", "C", "D"])
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        # any seed vertex sits in a 1-edge component; asking for 2 edges
+        # must raise
+        with pytest.raises(GraphError):
+            extract_query(g, 2, random.Random(0))
+
+
+class TestGenerateWorkload:
+    def test_counts_and_sizes(self):
+        g = _store()
+        queries = generate_workload([g], 10, 5, seed=3)
+        assert len(queries) == 10
+        assert all(q.graph.size == 5 for q in queries)
+        assert all(q.num_edges == 5 for q in queries)
+
+    def test_multi_graph_sources_recorded(self):
+        graphs = [_store(seed=s) for s in range(3)]
+        queries = generate_workload(graphs, 12, 4, seed=9)
+        sources = {q.source_graph_id for q in queries}
+        assert sources <= {0, 1, 2}
+        assert len(sources) > 1
+
+    def test_deterministic(self):
+        g = _store()
+        a = generate_workload([g], 5, 4, seed=11)
+        b = generate_workload([g], 5, 4, seed=11)
+        for x, y in zip(a, b):
+            assert x.graph.same_labeled_structure(y.graph)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(GraphError):
+            generate_workload([], 5, 4)
+
+    def test_impossible_size_raises(self):
+        g = LabeledGraph.from_edges(["A", "B"], [(0, 1)])
+        with pytest.raises(GraphError):
+            generate_workload([g], 2, 4, seed=1)
+
+    def test_query_names_unique(self):
+        g = _store()
+        queries = generate_workload([g], 8, 4, seed=13)
+        names = {q.name for q in queries}
+        assert len(names) == 8
