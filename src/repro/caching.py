@@ -22,7 +22,9 @@ Usage::
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,7 +33,13 @@ from .graphs.isomorphism import are_isomorphic, isomorphism_invariant_key
 from .indexing import FTVIndex, FTVQueryResult
 from .matching import Budget
 
-__all__ = ["QueryCache", "CachedFTVIndex", "CacheStats"]
+__all__ = [
+    "QueryCache",
+    "CachedFTVIndex",
+    "CacheStats",
+    "PrepareCache",
+    "prepare_cache",
+]
 
 
 @dataclass
@@ -104,6 +112,66 @@ class QueryCache:
             _, evicted = self._buckets.popitem(last=False)
             self._entries -= len(evicted)
             self.stats.evictions += len(evicted)
+
+
+class PrepareCache:
+    """Memo of per-stored-graph matcher indexes.
+
+    ``Matcher.prepare`` is un-budgeted but far from free (GraphQL
+    signatures, sPath distance structures); before this cache, every
+    race re-indexed the stored graph per variant.  Entries are keyed by
+    ``Matcher.prepare_key()`` and stored *on the graph itself*
+    (``LabeledGraph._index_memo``), so the memo lives exactly as long
+    as the graph — dropping the graph drops its indexes (a global
+    graph -> index map would pin both forever, since an index strongly
+    references its graph).  The cache object only tracks stats and the
+    set of graphs touched (weakly, for :meth:`clear`).
+
+    A graph mutated after indexing is transparently re-indexed:
+    ``add_edge`` resets the memo.
+    """
+
+    def __init__(self) -> None:
+        self._graphs: "weakref.WeakSet[LabeledGraph]" = weakref.WeakSet()
+        # namespace token: entries on the graph-side memo are keyed by
+        # (token, key), so independent PrepareCache instances never see
+        # (or clear) each other's entries
+        self._ns = object()
+        self.stats = CacheStats()
+
+    def get(
+        self,
+        graph: LabeledGraph,
+        key: tuple,
+        builder: Callable[[], object],
+    ):
+        """The memoized ``builder()`` result for (``graph``, ``key``)."""
+        indexes = graph._index_memo
+        if indexes is None:
+            indexes = graph._index_memo = {}
+        self._graphs.add(graph)
+        full_key = (self._ns, key)
+        hit = indexes.get(full_key)
+        if hit is None:
+            self.stats.misses += 1
+            hit = indexes[full_key] = builder()
+        else:
+            self.stats.hits += 1
+        return hit
+
+    def clear(self) -> None:
+        """Drop every index this cache memoized (testing / memory hook)."""
+        ns = self._ns
+        for graph in list(self._graphs):
+            indexes = graph._index_memo
+            if indexes:
+                for full_key in [k for k in indexes if k[0] is ns]:
+                    del indexes[full_key]
+        self._graphs.clear()
+
+
+#: The process-wide instance :meth:`Matcher.prepare` routes through.
+prepare_cache = PrepareCache()
 
 
 @dataclass

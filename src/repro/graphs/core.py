@@ -37,6 +37,56 @@ def _normalize_edge(u: int, v: int) -> Edge:
     return (u, v) if u <= v else (v, u)
 
 
+class _FrozenKernel:
+    """Immutable derived structures, built once per (re)freeze.
+
+    The matchers spend essentially all of their time probing adjacency
+    and labels, so freezing materialises everything those inner loops
+    need into flat, index-by-node-ID structures:
+
+    * ``neighbors`` — CSR-style tuple-of-tuples, ascending IDs;
+    * ``adj_masks`` — per-vertex neighbourhood as a bitmask int, so
+      "is ``c`` adjacent to every vertex in ``S``" is one ``&``/``==``
+      against the precomputed mask of ``S``;
+    * ``neighbor_sets`` — cached frozensets (O(1) membership without
+      rebuilding a set per call);
+    * ``label_buckets`` — label -> ascending vertex tuple (the NFV
+      "vertex label list"), making ``vertices_with_label`` O(1);
+    * ``label_codes`` / ``code_of`` — labels interned to dense ints in
+      first-bucket order, so label equality in hot loops is an int
+      compare instead of arbitrary-object ``__eq__``.
+    """
+
+    __slots__ = (
+        "labels",
+        "neighbors",
+        "adj_masks",
+        "neighbor_sets",
+        "label_buckets",
+        "label_codes",
+        "code_of",
+    )
+
+    def __init__(self, labels: list[Label], adj: list[set[int]]) -> None:
+        self.labels = tuple(labels)
+        self.neighbors = tuple(tuple(sorted(s)) for s in adj)
+        self.adj_masks = tuple(
+            sum(1 << w for w in s) for s in adj
+        )
+        self.neighbor_sets = tuple(frozenset(s) for s in adj)
+        buckets: dict[Label, list[int]] = {}
+        for v, lab in enumerate(self.labels):
+            buckets.setdefault(lab, []).append(v)
+        self.label_buckets = {
+            lab: tuple(vs) for lab, vs in buckets.items()
+        }
+        self.code_of = {
+            lab: code for code, lab in enumerate(self.label_buckets)
+        }
+        codes = self.code_of
+        self.label_codes = tuple(codes[lab] for lab in self.labels)
+
+
 class LabeledGraph:
     """An undirected, vertex-labeled graph with dense integer node IDs.
 
@@ -56,7 +106,16 @@ class LabeledGraph:
     which keeps every algorithm in :mod:`repro.matching` deterministic.
     """
 
-    __slots__ = ("_labels", "_adj", "_edge_labels", "_m", "name", "_frozen")
+    __slots__ = (
+        "_labels",
+        "_adj",
+        "_edge_labels",
+        "_m",
+        "name",
+        "_frozen",
+        "_index_memo",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -71,12 +130,16 @@ class LabeledGraph:
                 f"expected {n} labels, got {len(labels)}"
             )
         self._labels: list[Label] = list(labels)
-        # adjacency sets; sorted views are materialised lazily on freeze
+        # adjacency sets; the fast-path kernel (CSR tuples, bitmasks,
+        # label buckets) is materialised lazily on freeze
         self._adj: list[set[int]] = [set() for _ in range(n)]
         self._edge_labels: dict[Edge, Label] = {}
         self._m = 0
         self.name = name
-        self._frozen: Optional[list[tuple[int, ...]]] = None
+        self._frozen: Optional[_FrozenKernel] = None
+        # matcher-index memo managed by repro.caching.PrepareCache;
+        # living on the graph ties the memo's lifetime to the graph's
+        self._index_memo: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -115,6 +178,7 @@ class LabeledGraph:
             self._edge_labels[_normalize_edge(u, v)] = label
         self._m += 1
         self._frozen = None
+        self._index_memo = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -136,8 +200,13 @@ class LabeledGraph:
 
     @property
     def labels(self) -> tuple[Label, ...]:
-        """All vertex labels, indexed by node ID."""
-        return tuple(self._labels)
+        """All vertex labels, indexed by node ID.
+
+        Served from the frozen kernel when one exists; a pure label
+        read never forces kernel construction.
+        """
+        kern = self._frozen
+        return kern.labels if kern is not None else tuple(self._labels)
 
     def edge_label(self, u: int, v: int) -> Label:
         """Label of edge ``{u, v}`` (``None`` if unlabeled)."""
@@ -147,16 +216,41 @@ class LabeledGraph:
         """Number of edges incident to ``v``."""
         return len(self._adj[v])
 
+    def kernel(self) -> _FrozenKernel:
+        """The frozen fast-path kernel (built lazily, reset by mutation)."""
+        kern = self._frozen
+        if kern is None:
+            kern = self._frozen = _FrozenKernel(self._labels, self._adj)
+        return kern
+
     def neighbors(self, v: int) -> tuple[int, ...]:
         """Neighbours of ``v`` in ascending node-ID order."""
-        if self._frozen is None:
-            self._freeze()
-        assert self._frozen is not None
-        return self._frozen[v]
+        return self.kernel().neighbors[v]
+
+    def adjacency(self) -> tuple[tuple[int, ...], ...]:
+        """CSR-style adjacency: ``adjacency()[v]`` == ``neighbors(v)``."""
+        return self.kernel().neighbors
 
     def neighbor_set(self, v: int) -> frozenset[int]:
-        """Neighbours of ``v`` as a set (O(1) membership)."""
-        return frozenset(self._adj[v])
+        """Neighbours of ``v`` as a set (O(1) membership, cached)."""
+        return self.kernel().neighbor_sets[v]
+
+    def adjacency_masks(self) -> tuple[int, ...]:
+        """Per-vertex neighbourhoods as bitmask ints.
+
+        ``adjacency_masks()[v] >> w & 1`` tests the edge ``{v, w}``; a
+        single ``mask & need == need`` tests adjacency to a whole vertex
+        set at once — the matchers' hottest probe.
+        """
+        return self.kernel().adj_masks
+
+    def label_codes(self) -> tuple[int, ...]:
+        """Per-vertex labels interned to dense int codes."""
+        return self.kernel().label_codes
+
+    def label_code_of(self) -> Mapping[Label, int]:
+        """Label -> dense code mapping matching :meth:`label_codes`."""
+        return self.kernel().code_of
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` exists."""
@@ -167,14 +261,21 @@ class LabeledGraph:
         return range(self.order)
 
     def edges(self) -> Iterator[Edge]:
-        """All edges, each once, in (min-ID, max-ID) lexicographic order."""
+        """All edges, each once, in (min-ID, max-ID) lexicographic order.
+
+        Uses the frozen kernel when available, but a pure edge read on
+        an unfrozen graph (serialization, generator mutation loops)
+        does not force kernel construction.
+        """
+        kern = self._frozen
+        if kern is not None:
+            adj: Sequence[Sequence[int]] = kern.neighbors
+        else:
+            adj = [sorted(s) for s in self._adj]
         for u in range(self.order):
-            for v in self.neighbors(u):
+            for v in adj[u]:
                 if u < v:
                     yield (u, v)
-
-    def _freeze(self) -> None:
-        self._frozen = [tuple(sorted(s)) for s in self._adj]
 
     # ------------------------------------------------------------------
     # statistics used by rewritings / matchers / dataset tables
@@ -206,11 +307,10 @@ class LabeledGraph:
 
         This is the "vertex label list" every NFV method maintains in its
         indexing phase; matchers precompute it via
-        :class:`repro.matching.engine.GraphIndex`.
+        :class:`repro.matching.engine.GraphIndex`.  O(1) after the first
+        call: the frozen kernel holds the buckets.
         """
-        return tuple(
-            v for v in range(self.order) if self._labels[v] == label
-        )
+        return self.kernel().label_buckets.get(label, ())
 
     # ------------------------------------------------------------------
     # structure operations

@@ -24,6 +24,19 @@ This buys the reproduction three things:
 
 Wall-clock budgets (`timeout_s`) are also supported for users who want
 real-time caps on top.
+
+Batched stepping
+----------------
+
+Yielding once per probe makes step accounting exact but pays one
+generator suspension per unit of work.  Engines may therefore yield an
+``int`` meaning "a batch of N steps just happened" (a bare ``yield`` /
+``yield None`` still means one step).  :func:`drive` and the race
+executors in :mod:`repro.psi.executors` sum batches, so **total step
+counts are bit-for-bit identical** to one-yield-per-step execution;
+only the suspension granularity changes.  Killed attempts are clamped
+to the budget value, which is also exactly what unbatched execution
+reports.
 """
 
 from __future__ import annotations
@@ -51,7 +64,8 @@ __all__ = [
 DEFAULT_MAX_EMBEDDINGS = 1000
 
 Embedding = dict[int, int]
-SearchEngine = Generator[None, None, "MatchOutcome"]
+# engines yield None (one step) or an int batch of steps
+SearchEngine = Generator[Optional[int], None, "MatchOutcome"]
 
 
 class MatcherError(RuntimeError):
@@ -147,26 +161,28 @@ class GraphIndex:
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
-        self.label_index: dict[object, tuple[int, ...]] = {}
-        for v in graph.vertices():
-            self.label_index.setdefault(graph.label(v), [])  # type: ignore[arg-type]
-        buckets: dict[object, list[int]] = {
-            lab: [] for lab in self.label_index
-        }
-        for v in graph.vertices():
-            buckets[graph.label(v)].append(v)
-        self.label_index = {
-            lab: tuple(vs) for lab, vs in buckets.items()
-        }
+        kern = graph.kernel()
+        # the kernel's label buckets ARE the vertex label lists (one
+        # pass, shared with every other index of the same graph)
+        self.label_index: dict[object, tuple[int, ...]] = dict(
+            kern.label_buckets
+        )
         self.label_frequencies = {
             lab: len(vs) for lab, vs in self.label_index.items()
         }
-        self.degrees = tuple(graph.degree(v) for v in graph.vertices())
+        self.degrees = tuple(len(nbrs) for nbrs in kern.neighbors)
+        # fast-path aliases used by the matcher inner loops
+        self.adjacency = kern.neighbors
+        self.adj_masks = kern.adj_masks
+        self.labels = kern.labels
+        self.label_codes = kern.label_codes
+        self.code_of = kern.code_of
         # frequency of unordered label pairs over edges — QuickSI's edge
         # frequency statistic
+        labels = kern.labels
         edge_freq: dict[tuple, int] = {}
         for u, v in graph.edges():
-            key = _label_pair(graph.label(u), graph.label(v))
+            key = _label_pair(labels[u], labels[v])
             edge_freq[key] = edge_freq.get(key, 0) + 1
         self.edge_label_frequencies = edge_freq
 
@@ -198,8 +214,35 @@ class Matcher(ABC):
     #: Short algorithm name used in reports ("VF2", "GQL", "SPA", "QSI").
     name: str = "matcher"
 
-    def prepare(self, graph: LabeledGraph) -> GraphIndex:
-        """Build the per-stored-graph index (un-budgeted, reusable)."""
+    def prepare(self, graph: LabeledGraph, cache: bool = True) -> GraphIndex:
+        """The per-stored-graph index (un-budgeted, reusable).
+
+        Memoized per stored graph through
+        :data:`repro.caching.prepare_cache`, so repeated runs and races
+        against the same graph stop re-indexing.  Pass ``cache=False``
+        to force a fresh build.
+        """
+        if not cache:
+            return self._build_index(graph)
+        from ..caching import prepare_cache
+
+        return prepare_cache.get(
+            graph, self.prepare_key(), lambda: self._build_index(graph)
+        )
+
+    def prepare_key(self) -> tuple:
+        """Memoization key: matcher configs that share an index share it.
+
+        Keyed on the ``_build_index`` implementation, so every matcher
+        that builds a plain :class:`GraphIndex` (VF2, QuickSI, Ullmann,
+        TurboISO, the reference oracle) shares one index per stored
+        graph, while matchers with their own index type (GraphQL,
+        sPath) stay distinct.
+        """
+        return (type(self)._build_index.__qualname__,)
+
+    def _build_index(self, graph: LabeledGraph) -> GraphIndex:
+        """Actually construct the index (subclass hook)."""
         return GraphIndex(graph)
 
     @abstractmethod
@@ -259,32 +302,36 @@ def drive(gen: SearchEngine, budget: Optional[Budget] = None) -> MatchOutcome:
 
     Returns the engine's outcome with ``steps`` filled in; if the budget
     expires first, the engine is closed and a ``killed`` outcome carrying
-    the partial step count is returned.
+    the budget's step count is returned.
+
+    Engines may yield ``None`` (one step) or an int batch of steps; a
+    batch that crosses ``max_steps`` kills the attempt at exactly the
+    budget value, matching unbatched accounting.
     """
     steps = 0
     max_steps = budget.max_steps if budget else None
     timeout_s = budget.timeout_s if budget else None
     check_every = budget.check_every if budget else 1024
     deadline = (time.monotonic() + timeout_s) if timeout_s else None
+    next_check = check_every
     try:
         while True:
             try:
-                next(gen)
+                inc = next(gen)
             except StopIteration as stop:
                 outcome = stop.value
                 if outcome is None:  # pragma: no cover - defensive
                     outcome = MatchOutcome()
                 outcome.steps = steps
                 return outcome
-            steps += 1
+            steps += 1 if inc is None else inc
             if max_steps is not None and steps >= max_steps:
+                steps = max_steps
                 break
-            if (
-                deadline is not None
-                and steps % check_every == 0
-                and time.monotonic() > deadline
-            ):
-                break
+            if deadline is not None and steps >= next_check:
+                next_check = steps + check_every
+                if time.monotonic() > deadline:
+                    break
     finally:
         gen.close()
     return MatchOutcome(found=False, steps=steps, killed=True)

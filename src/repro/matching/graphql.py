@@ -75,7 +75,7 @@ class GraphQLMatcher(Matcher):
             raise ValueError("refine_level must be >= 0")
         self.refine_level = refine_level
 
-    def prepare(self, graph: LabeledGraph) -> GraphQLIndex:
+    def _build_index(self, graph: LabeledGraph) -> GraphQLIndex:
         return GraphQLIndex(graph)
 
     def engine(
@@ -86,7 +86,7 @@ class GraphQLMatcher(Matcher):
         count_only: bool = False,
     ) -> SearchEngine:
         if not isinstance(index, GraphQLIndex):
-            index = GraphQLIndex(index.graph)
+            index = self.prepare(index.graph)
         graph = index.graph
         outcome = MatchOutcome(algorithm=self.name)
         nq = query.order
@@ -97,19 +97,28 @@ class GraphQLMatcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views
+        adj = index.adjacency
+        masks = index.adj_masks
+        sigs = index.signatures
+        q_adj = query.adjacency()
+        q_labels = query.labels
+
         q_sigs = [
-            Counter(query.label(w) for w in query.neighbors(u))
+            Counter(q_labels[w] for w in q_adj[u])
             for u in query.vertices()
         ]
 
         # ---- rule 1: label + signature containment filter -------------
         cand: list[list[int]] = []
         for u in query.vertices():
-            lst: list[int] = []
-            for c in index.candidates_by_label(query.label(u)):
-                yield
-                if _signature_contains(index.signatures[c], q_sigs[u]):
-                    lst.append(c)
+            pool = index.candidates_by_label(q_labels[u])
+            q_sig = q_sigs[u]
+            lst = [
+                c for c in pool if _signature_contains(sigs[c], q_sig)
+            ]
+            if len(pool):
+                yield len(pool)  # one step per filter probe, batched
             if not lst:
                 outcome.exhausted = True
                 return outcome
@@ -121,15 +130,16 @@ class GraphQLMatcher(Matcher):
         def pseudo_iso_ok(u: int, c: int) -> bool:
             """Bipartite test: distinct candidate neighbours for all of
             u's neighbours (Kuhn's algorithm)."""
-            q_nbrs = query.neighbors(u)
-            c_nbrs = graph.neighbors(c)
+            q_nbrs = q_adj[u]
+            c_nbrs = adj[c]
             if len(q_nbrs) > len(c_nbrs):
                 return False
             match_of: dict[int, int] = {}  # graph nbr -> query nbr
 
             def try_assign(w: int, visited: set[int]) -> bool:
+                cand_w = cand_sets[w]
                 for d in c_nbrs:
-                    if d in visited or d not in cand_sets[w]:
+                    if d in visited or d not in cand_w:
                         continue
                     visited.add(d)
                     if d not in match_of or try_assign(
@@ -144,12 +154,10 @@ class GraphQLMatcher(Matcher):
         for _ in range(self.refine_level):
             changed = False
             for u in query.vertices():
-                survivors: list[int] = []
-                for c in cand[u]:
-                    yield
-                    if pseudo_iso_ok(u, c):
-                        survivors.append(c)
-                if len(survivors) != len(cand[u]):
+                lst = cand[u]
+                survivors = [c for c in lst if pseudo_iso_ok(u, c)]
+                yield len(lst)  # one step per pair test, batched
+                if len(survivors) != len(lst):
                     changed = True
                     if not survivors:
                         outcome.exhausted = True
@@ -193,9 +201,10 @@ class GraphQLMatcher(Matcher):
 
         # ---- joins (backtracking along the plan) -----------------------
         q_to_g: dict[int, int] = {}
-        used: set[int] = set()
+        used_mask = 0
 
         def search(pos: int) -> SearchEngine:
+            nonlocal used_mask
             if pos == nq:
                 outcome.found = True
                 outcome.num_embeddings += 1
@@ -203,21 +212,27 @@ class GraphQLMatcher(Matcher):
                     outcome.embeddings.append(dict(q_to_g))
                 return None
             u = order[pos]
-            mapped_nbrs = [
-                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
-            ]
+            need = 0
+            for w in q_adj[u]:
+                if w in q_to_g:
+                    need |= 1 << q_to_g[w]
+            pending = 0  # batched join-candidate probes
             for c in cand[u]:
-                yield
-                if c in used:
+                pending += 1
+                if (used_mask >> c) & 1:
                     continue
-                if all(graph.has_edge(c, img) for img in mapped_nbrs):
+                if masks[c] & need == need:
+                    yield pending
+                    pending = 0
                     q_to_g[u] = c
-                    used.add(c)
+                    used_mask |= 1 << c
                     yield from search(pos + 1)
                     del q_to_g[u]
-                    used.discard(c)
+                    used_mask &= ~(1 << c)
                     if outcome.num_embeddings >= max_embeddings:
                         return None
+            if pending:
+                yield pending
             return None
 
         yield from search(0)

@@ -154,15 +154,23 @@ class QuickSIMatcher(Matcher):
 
         seq = build_qi_sequence(index, query)
         n_entries = len(seq)
-        q_to_g: dict[int, int] = {}
-        used: set[int] = set()
 
-        def candidates(entry: QIEntry):
-            if entry.parent is None:
-                return index.candidates_by_label(query.label(entry.vertex))
-            return graph.neighbors(q_to_g[entry.parent])
+        # fast-path kernel views
+        adj = index.adjacency
+        masks = index.adj_masks
+        g_codes = index.label_codes
+        degs = index.degrees
+        q_labels = query.labels
+        # per-entry interned label codes (-1: label absent, no matches)
+        entry_codes = tuple(
+            index.code_of.get(q_labels[e.vertex], -1) for e in seq
+        )
+
+        q_to_g: dict[int, int] = {}
+        used_mask = 0
 
         def search(i: int) -> SearchEngine:
+            nonlocal used_mask
             if i == n_entries:
                 outcome.found = True
                 outcome.num_embeddings += 1
@@ -171,26 +179,36 @@ class QuickSIMatcher(Matcher):
                 return None
             entry = seq[i]
             u = entry.vertex
-            lab = query.label(u)
-            for c in candidates(entry):
-                yield
-                if c in used:
-                    continue
-                if graph.label(c) != lab:
-                    continue
-                if index.degrees[c] < entry.degree:
-                    continue
-                if not all(
-                    graph.has_edge(c, q_to_g[w]) for w in entry.back_edges
+            code = entry_codes[i]
+            min_deg = entry.degree
+            if entry.parent is None:
+                pool = index.candidates_by_label(q_labels[u])
+            else:
+                pool = adj[q_to_g[entry.parent]]
+            need = 0
+            for w in entry.back_edges:
+                need |= 1 << q_to_g[w]
+            pending = 0  # batched candidate probes
+            for c in pool:
+                pending += 1
+                if (
+                    (used_mask >> c) & 1
+                    or g_codes[c] != code
+                    or degs[c] < min_deg
+                    or masks[c] & need != need
                 ):
                     continue
+                yield pending
+                pending = 0
                 q_to_g[u] = c
-                used.add(c)
+                used_mask |= 1 << c
                 yield from search(i + 1)
                 del q_to_g[u]
-                used.discard(c)
+                used_mask &= ~(1 << c)
                 if outcome.num_embeddings >= max_embeddings:
                     return None
+            if pending:
+                yield pending
             return None
 
         yield from search(0)

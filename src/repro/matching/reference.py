@@ -44,32 +44,43 @@ class ReferenceMatcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views
+        masks = index.adj_masks
+        q_adj = query.adjacency()
+        q_labels = query.labels
+
         q_to_g: dict[int, int] = {}
-        used: set[int] = set()
+        used_mask = 0
 
         def search(u: int) -> SearchEngine:
+            nonlocal used_mask
             if u == nq:
                 outcome.found = True
                 outcome.num_embeddings += 1
                 if not count_only:
                     outcome.embeddings.append(dict(q_to_g))
                 return None
-            lab = query.label(u)
-            mapped_nbrs = [
-                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
-            ]
-            for c in index.candidates_by_label(lab):
-                yield
-                if c in used:
+            need = 0
+            for w in q_adj[u]:
+                if w in q_to_g:
+                    need |= 1 << q_to_g[w]
+            pending = 0  # batched candidate probes
+            for c in index.candidates_by_label(q_labels[u]):
+                pending += 1
+                if (used_mask >> c) & 1:
                     continue
-                if all(graph.has_edge(c, img) for img in mapped_nbrs):
+                if masks[c] & need == need:
+                    yield pending
+                    pending = 0
                     q_to_g[u] = c
-                    used.add(c)
+                    used_mask |= 1 << c
                     yield from search(u + 1)
                     del q_to_g[u]
-                    used.discard(c)
+                    used_mask &= ~(1 << c)
                     if outcome.num_embeddings >= max_embeddings:
                         return None
+            if pending:
+                yield pending
             return None
 
         yield from search(0)

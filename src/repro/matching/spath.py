@@ -132,7 +132,11 @@ class SPathMatcher(Matcher):
         self.radius = radius
         self.max_path_length = max_path_length
 
-    def prepare(self, graph: LabeledGraph) -> SPathIndex:
+    def prepare_key(self) -> tuple:
+        # the distance signatures depend on the radius
+        return (type(self).__name__, self.radius)
+
+    def _build_index(self, graph: LabeledGraph) -> SPathIndex:
         return SPathIndex(graph, radius=self.radius)
 
     # ------------------------------------------------------------------
@@ -219,7 +223,7 @@ class SPathMatcher(Matcher):
         count_only: bool = False,
     ) -> SearchEngine:
         if not isinstance(index, SPathIndex):
-            index = SPathIndex(index.graph, radius=self.radius)
+            index = self.prepare(index.graph)
         graph = index.graph
         outcome = MatchOutcome(algorithm=self.name)
         nq = query.order
@@ -230,6 +234,13 @@ class SPathMatcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views
+        adj = index.adjacency
+        masks = index.adj_masks
+        g_cum = index.cum_signatures
+        q_adj = query.adjacency()
+        q_labels = query.labels
+
         # ---- vertex filtering via distance-wise signatures ------------
         q_cums = [
             _cumulative(distance_signature(query, u, index.radius))
@@ -237,13 +248,13 @@ class SPathMatcher(Matcher):
         ]
         cand: list[list[int]] = []
         for u in query.vertices():
-            lst: list[int] = []
-            for c in index.candidates_by_label(query.label(u)):
-                yield
-                if _signature_dominates(
-                    index.cum_signatures[c], q_cums[u]
-                ):
-                    lst.append(c)
+            pool = index.candidates_by_label(q_labels[u])
+            q_cum = q_cums[u]
+            lst = [
+                c for c in pool if _signature_dominates(g_cum[c], q_cum)
+            ]
+            if len(pool):
+                yield len(pool)  # one step per filter probe, batched
             if not lst:
                 outcome.exhausted = True
                 return outcome
@@ -273,10 +284,12 @@ class SPathMatcher(Matcher):
         assert slotted == set(query.vertices())
 
         q_to_g: dict[int, int] = {}
-        used: set[int] = set()
+        used_mask = 0
+        n_slots = len(slots)
 
         def search(pos: int) -> SearchEngine:
-            if pos == len(slots):
+            nonlocal used_mask
+            if pos == n_slots:
                 outcome.found = True
                 outcome.num_embeddings += 1
                 if not count_only:
@@ -286,32 +299,37 @@ class SPathMatcher(Matcher):
             if u in q_to_g:
                 # revisited path junction: edge-by-edge verification only
                 yield
-                if prev is not None and not graph.has_edge(
-                    q_to_g[prev], q_to_g[u]
-                ):
+                if prev is not None and not (
+                    masks[q_to_g[prev]] >> q_to_g[u]
+                ) & 1:
                     return None
                 yield from search(pos + 1)
                 return None
-            mapped_nbrs = [
-                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
-            ]
+            need = 0
+            for w in q_adj[u]:
+                if w in q_to_g:
+                    need |= 1 << q_to_g[w]
             pool = (
-                graph.neighbors(q_to_g[prev])
-                if prev is not None
-                else cand[u]
+                adj[q_to_g[prev]] if prev is not None else cand[u]
             )
+            cand_u = cand_sets[u]
+            pending = 0  # batched join-candidate probes
             for c in pool:
-                yield
-                if c in used or c not in cand_sets[u]:
+                pending += 1
+                if (used_mask >> c) & 1 or c not in cand_u:
                     continue
-                if all(graph.has_edge(c, img) for img in mapped_nbrs):
+                if masks[c] & need == need:
+                    yield pending
+                    pending = 0
                     q_to_g[u] = c
-                    used.add(c)
+                    used_mask |= 1 << c
                     yield from search(pos + 1)
                     del q_to_g[u]
-                    used.discard(c)
+                    used_mask &= ~(1 << c)
                     if outcome.num_embeddings >= max_embeddings:
                         return None
+            if pending:
+                yield pending
             return None
 
         yield from search(0)

@@ -71,9 +71,17 @@ class TurboISOMatcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views
+        adj = index.adjacency
+        masks = index.adj_masks
+        g_codes = index.label_codes
+        degs = index.degrees
+        q_adj = query.adjacency()
+        q_labels = query.labels
+
         # ---- start vertex: minimum freq(label)/degree rank ------------
         def rank(u: int) -> tuple:
-            freq = index.label_frequencies.get(query.label(u), 0)
+            freq = index.label_frequencies.get(q_labels[u], 0)
             deg = max(query.degree(u), 1)
             return (freq / deg, u)
 
@@ -112,21 +120,16 @@ class TurboISOMatcher(Matcher):
             cr: dict[int, set[int]] = {start: {root_image}}
             for u in tree_order[1:]:
                 p = parent[u]
+                du = degrees_q[u]
                 if p is None:
-                    pool = index.candidates_by_label(query.label(u))
-                    cr[u] = {
-                        c for c in pool
-                        if index.degrees[c] >= degrees_q[u]
-                    }
+                    pool = index.candidates_by_label(q_labels[u])
+                    cr[u] = {c for c in pool if degs[c] >= du}
                     continue
-                lab = query.label(u)
+                code = index.code_of.get(q_labels[u], -1)
                 found: set[int] = set()
                 for vp in cr[p]:
-                    for c in graph.neighbors(vp):
-                        if (
-                            graph.label(c) == lab
-                            and index.degrees[c] >= degrees_q[u]
-                        ):
+                    for c in adj[vp]:
+                        if g_codes[c] == code and degs[c] >= du:
                             found.add(c)
                 if not found:
                     return None
@@ -155,11 +158,12 @@ class TurboISOMatcher(Matcher):
             return order
 
         q_to_g: dict[int, int] = {}
-        used: set[int] = set()
+        used_mask = 0
 
         def search(
             pos: int, order: list[int], cr: dict[int, set[int]]
         ) -> SearchEngine:
+            nonlocal used_mask
             if pos == nq:
                 outcome.found = True
                 outcome.num_embeddings += 1
@@ -168,54 +172,65 @@ class TurboISOMatcher(Matcher):
                 return None
             u = order[pos]
             mapped_nbrs = [
-                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
+                q_to_g[w] for w in q_adj[u] if w in q_to_g
             ]
             if mapped_nbrs:
+                cr_u = cr[u]
                 pool = [
-                    c for c in graph.neighbors(mapped_nbrs[0])
-                    if c in cr[u]
+                    c for c in adj[mapped_nbrs[0]] if c in cr_u
                 ]
-                rest = mapped_nbrs[1:]
+                need = 0
+                for img in mapped_nbrs[1:]:
+                    need |= 1 << img
             else:
                 pool = sorted(cr[u])
-                rest = []
+                need = 0
+            pending = 0  # batched join-candidate probes
             for c in pool:
-                yield
-                if c in used:
+                pending += 1
+                if (used_mask >> c) & 1:
                     continue
-                if all(graph.has_edge(c, img) for img in rest):
+                if masks[c] & need == need:
+                    yield pending
+                    pending = 0
                     q_to_g[u] = c
-                    used.add(c)
+                    used_mask |= 1 << c
                     yield from search(pos + 1, order, cr)
                     del q_to_g[u]
-                    used.discard(c)
+                    used_mask &= ~(1 << c)
                     if outcome.num_embeddings >= max_embeddings:
                         return None
+            if pending:
+                yield pending
             return None
 
         # ---- region loop ------------------------------------------------
         start_pool = [
             c
-            for c in index.candidates_by_label(query.label(start))
-            if index.degrees[c] >= degrees_q[start]
+            for c in index.candidates_by_label(q_labels[start])
+            if degs[c] >= degrees_q[start]
         ]
+        rest_order = tree_order[1:]
+        pending = 0
         for root_image in start_pool:
-            yield  # one step per explored region root
+            pending += 1  # one step per explored region root
             cr = region_candidates(root_image)
             if cr is None:
                 continue
             # charge the region exploration: one step per CR entry
-            for u in tree_order[1:]:
-                for _ in cr[u]:
-                    yield
+            pending += sum(len(cr[u]) for u in rest_order)
+            yield pending
+            pending = 0
             order = matching_order(cr)
             q_to_g[start] = root_image
-            used.add(root_image)
+            used_mask |= 1 << root_image
             yield from search(1, order, cr)
             del q_to_g[start]
-            used.discard(root_image)
+            used_mask &= ~(1 << root_image)
             if outcome.num_embeddings >= max_embeddings:
                 break
+        if pending:
+            yield pending
 
         outcome.exhausted = True
         return outcome

@@ -31,6 +31,14 @@ from .engine import (
 __all__ = ["UllmannMatcher"]
 
 
+def _bits_ascending(mask: int):
+    """Set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class UllmannMatcher(Matcher):
     """Ullmann's algorithm with per-assignment refinement."""
 
@@ -53,51 +61,55 @@ class UllmannMatcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views; candidate sets live as bitmask ints,
+        # so the refinement's existential checks are single AND ops
+        masks = index.adj_masks
+        degs = index.degrees
+        q_adj = query.adjacency()
+
         # initial candidate sets: label equality + degree dominance
-        init: list[frozenset[int]] = []
+        init: list[int] = []
         for u in query.vertices():
             du = query.degree(u)
-            init.append(
-                frozenset(
-                    c
-                    for c in index.candidates_by_label(query.label(u))
-                    if index.degrees[c] >= du
-                )
-            )
-        if any(not s for s in init):
+            m = 0
+            for c in index.candidates_by_label(query.label(u)):
+                if degs[c] >= du:
+                    m |= 1 << c
+            init.append(m)
+        if any(not m for m in init):
             outcome.exhausted = True
             return outcome
 
-        def refine(
-            cand: list[frozenset[int]],
-        ) -> SearchEngine:
+        def refine(cand: list[int]) -> SearchEngine:
             """Ullmann refinement to a fixed point; returns refined sets.
 
-            Yields one step per (vertex, candidate) check round.  Returns
-            ``None`` in place of the list when some set empties (dead
-            branch).
+            Charges one step per (vertex, candidate-set) check round
+            (batched per sweep).  Returns ``None`` in place of the list
+            when some set empties (dead branch).
             """
             current = list(cand)
             changed = True
             while changed:
                 changed = False
+                checked = 0  # vertex rounds charged this sweep
                 for u in range(nq):
-                    survivors = set()
-                    q_nbrs = query.neighbors(u)
-                    yield
-                    for c in current[u]:
-                        c_nbrs = graph.neighbor_set(c)
-                        ok = all(
-                            any(d in current[w] for d in c_nbrs)
-                            for w in q_nbrs
-                        )
-                        if ok:
-                            survivors.add(c)
-                    if len(survivors) != len(current[u]):
+                    checked += 1
+                    q_nbrs = q_adj[u]
+                    survivors = 0
+                    for c in _bits_ascending(current[u]):
+                        mc = masks[c]
+                        for w in q_nbrs:
+                            if not mc & current[w]:
+                                break
+                        else:
+                            survivors |= 1 << c
+                    if survivors != current[u]:
                         changed = True
                         if not survivors:
+                            yield checked
                             return None
-                        current[u] = frozenset(survivors)
+                        current[u] = survivors
+                yield checked
             return current
 
         refined = yield from refine(init)
@@ -106,36 +118,43 @@ class UllmannMatcher(Matcher):
             return outcome
 
         q_to_g: dict[int, int] = {}
-        used: set[int] = set()
+        used_mask = 0
 
-        def search(u: int, cand: list[frozenset[int]]) -> SearchEngine:
+        def search(u: int, cand: list[int]) -> SearchEngine:
+            nonlocal used_mask
             if u == nq:
                 outcome.found = True
                 outcome.num_embeddings += 1
                 if not count_only:
                     outcome.embeddings.append(dict(q_to_g))
                 return None
-            mapped_nbrs = [
-                q_to_g[w] for w in query.neighbors(u) if w in q_to_g
-            ]
-            for c in sorted(cand[u]):
-                yield
-                if c in used:
+            need = 0
+            for w in q_adj[u]:
+                if w in q_to_g:
+                    need |= 1 << q_to_g[w]
+            pending = 0  # batched candidate probes
+            for c in _bits_ascending(cand[u]):
+                pending += 1
+                if (used_mask >> c) & 1:
                     continue
-                if not all(graph.has_edge(c, img) for img in mapped_nbrs):
+                if masks[c] & need != need:
                     continue
+                yield pending
+                pending = 0
                 narrowed = list(cand)
-                narrowed[u] = frozenset((c,))
+                narrowed[u] = 1 << c
                 narrowed = yield from refine(narrowed)
                 if narrowed is None:
                     continue
                 q_to_g[u] = c
-                used.add(c)
+                used_mask |= 1 << c
                 yield from search(u + 1, narrowed)
                 del q_to_g[u]
-                used.discard(c)
+                used_mask &= ~(1 << c)
                 if outcome.num_embeddings >= max_embeddings:
                     return None
+            if pending:
+                yield pending
             return None
 
         yield from search(0, refined)

@@ -22,12 +22,13 @@ the paper (Grapes and GGSX).  Per the paper's §3.1.1 description:
   3. a lookahead on the remaining neighbours: ditto for neighbours not
      adjacent to the matched region.
 
-The engine yields one step per candidate-pair feasibility probe.
+The engine charges one step per candidate-pair feasibility probe
+(batched: consecutive probes are yielded as one int — see
+:mod:`repro.matching.engine`), probing adjacency through the stored
+graph's bitmask kernel.
 """
 
 from __future__ import annotations
-
-from collections.abc import Iterator
 
 from ..graphs import LabeledGraph
 from .engine import (
@@ -115,19 +116,31 @@ class VF2Matcher(Matcher):
             return outcome
             yield  # pragma: no cover - makes this a generator
 
+        # fast-path kernel views (hoisted out of every inner loop)
+        adj = index.adjacency
+        masks = index.adj_masks
+        g_codes = index.label_codes
+        q_adj = query.adjacency()
+        q_masks = query.adjacency_masks()
+        q_labels = query.labels
+        # feasibility passed, so every query label exists in the store
+        q_codes = tuple(index.code_of[lab] for lab in q_labels)
+        q_degrees = tuple(len(nbrs) for nbrs in q_adj)
+
         q_to_g: dict[int, int] = {}
-        g_matched: set[int] = set()
+        matched_mask = 0  # stored-graph vertices in the partial map
+        q_matched_mask = 0  # query vertices in the partial map
 
         if self.selection == "id":
             def selection_key(u: int) -> tuple:
                 return (u,)
         elif self.selection == "degree":
             def selection_key(u: int) -> tuple:
-                return (-query.degree(u), u)
+                return (-q_degrees[u], u)
         else:  # rarity
             def selection_key(u: int) -> tuple:
                 return (
-                    index.label_frequencies.get(query.label(u), 0), u
+                    index.label_frequencies.get(q_labels[u], 0), u
                 )
 
         def next_query_vertex() -> int:
@@ -138,83 +151,55 @@ class VF2Matcher(Matcher):
             """
             best_frontier = -1
             best_any = -1
-            for u in query.vertices():
-                if u in q_to_g:
+            for u in range(nq):
+                if (q_matched_mask >> u) & 1:
                     continue
                 if best_any < 0 or selection_key(u) < selection_key(
                     best_any
                 ):
                     best_any = u
-                on_frontier = any(
-                    w in q_to_g for w in query.neighbors(u)
-                )
-                if on_frontier and (
+                if q_masks[u] & q_matched_mask and (
                     best_frontier < 0
                     or selection_key(u) < selection_key(best_frontier)
                 ):
                     best_frontier = u
             return best_frontier if best_frontier >= 0 else best_any
 
-        def candidates(u: int) -> Iterator[int]:
+        def candidates(u: int) -> list[int]:
             """Feasible stored-graph candidates for query vertex ``u``.
 
             Consistency (label match + adjacency to all matched
-            neighbours' images) is checked here; the caller charges one
-            step per candidate and applies the lookahead rules.
+            neighbours' images, one bitmask intersection) is checked
+            here; the caller charges one step per candidate and applies
+            the lookahead rules.
             """
-            matched_nbrs = [w for w in query.neighbors(u) if w in q_to_g]
-            if matched_nbrs:
-                # intersect adjacency of the images; iterate the image
-                # neighbourhood of the first matched neighbour (ID order)
-                first = q_to_g[matched_nbrs[0]]
-                rest = [q_to_g[w] for w in matched_nbrs[1:]]
-                lab = query.label(u)
-                for c in graph.neighbors(first):
-                    if c in g_matched or graph.label(c) != lab:
-                        continue
-                    if all(graph.has_edge(c, img) for img in rest):
-                        yield c
-            else:
-                pool = (
-                    root_candidates
-                    if root_candidates is not None and not q_to_g
-                    else index.candidates_by_label(query.label(u))
-                )
-                lab = query.label(u)
-                for c in pool:
-                    if c not in g_matched and graph.label(c) == lab:
-                        yield c
-
-        def lookahead_ok(u: int, c: int) -> bool:
-            """VF2 pruning rules 2 and 3 (frontier / remainder counts)."""
-            q_frontier = 0
-            q_rest = 0
-            for w in query.neighbors(u):
-                if w in q_to_g:
-                    continue
-                adjacent_to_core = any(
-                    x in q_to_g for x in query.neighbors(w)
-                )
-                if adjacent_to_core:
-                    q_frontier += 1
-                else:
-                    q_rest += 1
-            g_frontier = 0
-            g_rest = 0
-            for d in graph.neighbors(c):
-                if d in g_matched:
-                    continue
-                adjacent_to_core = any(
-                    x in g_matched for x in graph.neighbors(d)
-                )
-                if adjacent_to_core:
-                    g_frontier += 1
-                else:
-                    g_rest += 1
-            # non-induced sub-iso: graph side must dominate
-            return g_frontier >= q_frontier and (
-                g_frontier + g_rest >= q_frontier + q_rest
+            lab_code = q_codes[u]
+            imgs = [q_to_g[w] for w in q_adj[u] if (q_matched_mask >> w) & 1]
+            if imgs:
+                # iterate the image neighbourhood of the first matched
+                # neighbour (ID order); require adjacency to the rest
+                # via a single mask intersection
+                first = imgs[0]
+                need = 0
+                for img in imgs[1:]:
+                    need |= 1 << img
+                return [
+                    c
+                    for c in adj[first]
+                    if not (matched_mask >> c) & 1
+                    and g_codes[c] == lab_code
+                    and masks[c] & need == need
+                ]
+            pool = (
+                root_candidates
+                if root_candidates is not None and not q_to_g
+                else index.candidates_by_label(q_labels[u])
             )
+            return [
+                c
+                for c in pool
+                if not (matched_mask >> c) & 1 and g_codes[c] == lab_code
+            ]
 
         def record() -> None:
             outcome.found = True
@@ -223,21 +208,61 @@ class VF2Matcher(Matcher):
                 outcome.embeddings.append(dict(q_to_g))
 
         def search() -> SearchEngine:
+            nonlocal matched_mask, q_matched_mask
             if len(q_to_g) == nq:
                 record()
                 return None
             u = next_query_vertex()
-            for c in candidates(u):
-                yield  # one step per candidate probe
-                if not lookahead_ok(u, c):
+            # lookahead rules 2/3, query side: constant across the
+            # candidate loop (the partial map is frame-invariant)
+            q_frontier = 0
+            q_rest = 0
+            for w in q_adj[u]:
+                if (q_matched_mask >> w) & 1:
                     continue
+                if q_masks[w] & q_matched_mask:
+                    q_frontier += 1
+                else:
+                    q_rest += 1
+            q_total = q_frontier + q_rest
+            u_bit = 1 << u
+            pending = 0  # batched candidate-probe steps
+            for c in candidates(u):
+                pending += 1
+                # lookahead, graph side; counts only grow, so stop as
+                # soon as both dominance conditions hold
+                g_frontier = 0
+                g_rest = 0
+                ok = q_total == 0
+                if not ok:
+                    for d in adj[c]:
+                        if (matched_mask >> d) & 1:
+                            continue
+                        if masks[d] & matched_mask:
+                            g_frontier += 1
+                        else:
+                            g_rest += 1
+                        if (
+                            g_frontier >= q_frontier
+                            and g_frontier + g_rest >= q_total
+                        ):
+                            ok = True
+                            break
+                if not ok:
+                    continue
+                yield pending
+                pending = 0
                 q_to_g[u] = c
-                g_matched.add(c)
+                matched_mask |= 1 << c
+                q_matched_mask |= u_bit
                 yield from search()
                 del q_to_g[u]
-                g_matched.discard(c)
+                matched_mask &= ~(1 << c)
+                q_matched_mask &= ~u_bit
                 if outcome.num_embeddings >= max_embeddings:
                     return None
+            if pending:
+                yield pending
             return None
 
         yield from search()

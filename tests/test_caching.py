@@ -4,10 +4,11 @@ import random
 
 import pytest
 
-from repro.caching import CachedFTVIndex, QueryCache
+from repro.caching import CachedFTVIndex, PrepareCache, QueryCache
 from repro.datasets import ppi_like
+from repro.graphs import LabeledGraph
 from repro.indexing import GrapesIndex
-from repro.matching import Budget
+from repro.matching import Budget, make_matcher
 from repro.workload import extract_query
 
 
@@ -98,3 +99,60 @@ class TestCachedFTVIndex:
         # nothing cached: a re-query is a miss again
         cached.query(q, Budget(max_steps=2))
         assert cached.cache.stats.hits == 0
+
+
+def small_graph():
+    g = LabeledGraph(3, ["A", "B", "A"])
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    return g
+
+
+class TestPrepareCache:
+    def test_repeated_prepare_is_memoized(self):
+        g = small_graph()
+        m = make_matcher("GQL")
+        assert m.prepare(g) is m.prepare(g)
+        # a different matcher config sharing the index shape also hits
+        assert make_matcher("GQL").prepare(g) is m.prepare(g)
+
+    def test_distinct_graphs_distinct_indexes(self):
+        m = make_matcher("VF2")
+        assert m.prepare(small_graph()) is not m.prepare(small_graph())
+
+    def test_cache_false_builds_fresh(self):
+        g = small_graph()
+        m = make_matcher("SPA")
+        assert m.prepare(g) is not m.prepare(g, cache=False)
+
+    def test_mutated_graph_reindexed(self):
+        g = LabeledGraph(4, ["A", "B", "A", "B"])
+        g.add_edge(0, 1)
+        m = make_matcher("QSI")
+        stale = m.prepare(g)
+        g.add_edge(2, 3)
+        fresh = m.prepare(g)
+        assert fresh is not stale
+        assert fresh.degrees == (1, 1, 1, 1)
+
+    def test_spa_radius_in_key(self):
+        from repro.matching.spath import SPathMatcher
+
+        g = small_graph()
+        assert (
+            SPathMatcher(radius=2).prepare(g)
+            is not SPathMatcher(radius=3).prepare(g)
+        )
+
+    def test_stats_and_clear(self):
+        cache = PrepareCache()
+        g = small_graph()
+        built = []
+        cache.get(g, ("k",), lambda: built.append(1) or "idx")
+        cache.get(g, ("k",), lambda: built.append(1) or "idx")
+        assert len(built) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        cache.clear()
+        cache.get(g, ("k",), lambda: built.append(1) or "idx")
+        assert len(built) == 2
