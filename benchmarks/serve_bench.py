@@ -1,0 +1,80 @@
+"""Service load benchmark: closed-loop multi-tenant generation.
+
+Boots ``repro.service`` on a dataset, runs the closed-loop load
+generator (each tenant keeps ``--concurrency`` queries in flight over
+a size/hardness-stratified stream with isomorphic repeats), and writes
+``BENCH_service.json``: throughput in queries per million simulated
+steps and per wall-clock second, plus p50/p95/p99 simulated-step
+latency and cache/admission counters.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_bench.py            # full
+    PYTHONPATH=src python benchmarks/serve_bench.py --quick    # CI smoke
+
+The run is deterministic: the JSON embeds a results digest that must be
+identical across machines for the same arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script invocation: repo-root layout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main as repro_main
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny scale, 50 queries (CI smoke)")
+    parser.add_argument("--dataset", default="yeast")
+    parser.add_argument("--scale", default=None,
+                        help="default | tiny (overrides --quick)")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=1)
+    parser.add_argument("--budget", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("tiny" if args.quick else "default")
+    queries = args.queries or (50 if args.quick else 200)
+    rc = repro_main([
+        "bench-serve",
+        "--dataset", args.dataset,
+        "--scale", scale,
+        "--queries", str(queries),
+        "--tenants", str(args.tenants),
+        "--workers", str(args.workers),
+        "--concurrency", str(args.concurrency),
+        "--budget", str(args.budget),
+        "--seed", str(args.seed),
+        "--out", args.out,
+    ])
+    if rc != 0:
+        return rc
+    # well-formedness gate: the CI smoke job relies on these keys
+    with open(args.out) as fh:
+        payload = json.load(fh)
+    for key in ("throughput", "latency_steps", "result_cache", "digest"):
+        if key not in payload:
+            raise SystemExit(f"BENCH_service.json missing {key!r}")
+    for pct in ("p50", "p95", "p99"):
+        if pct not in (payload["latency_steps"] or {}):
+            raise SystemExit(f"latency summary missing {pct!r}")
+    print(f"BENCH_service.json OK (digest {payload['digest']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

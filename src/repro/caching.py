@@ -60,6 +60,16 @@ class CacheStats:
         """Fraction of lookups served from the cache."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_metrics(self, prefix: str = "") -> dict:
+        """Flat counter dict for metrics/stats surfaces (JSON-ready)."""
+        return {
+            f"{prefix}hits": self.hits,
+            f"{prefix}misses": self.misses,
+            f"{prefix}evictions": self.evictions,
+            f"{prefix}lookups": self.lookups,
+            f"{prefix}hit_rate": self.hit_rate,
+        }
+
 
 class QueryCache:
     """LRU cache of query answers, keyed up to isomorphism.
@@ -138,6 +148,7 @@ class PrepareCache:
         # (or clear) each other's entries
         self._ns = object()
         self.stats = CacheStats()
+        self._entries = 0
 
     def get(
         self,
@@ -155,19 +166,37 @@ class PrepareCache:
         if hit is None:
             self.stats.misses += 1
             hit = indexes[full_key] = builder()
+            self._entries += 1
         else:
             self.stats.hits += 1
         return hit
 
+    @property
+    def entries(self) -> int:
+        """Number of live memoized indexes built through this cache.
+
+        Graphs dropped by the garbage collector take their memo entries
+        with them (the whole point of graph-side storage), so this is an
+        upper bound that :meth:`clear` resets exactly.
+        """
+        return self._entries
+
     def clear(self) -> None:
-        """Drop every index this cache memoized (testing / memory hook)."""
+        """Drop every index this cache memoized (testing / memory hook).
+
+        Dropped entries are counted as evictions in :attr:`stats`, so
+        memory-pressure hooks that call this show up in cache-efficacy
+        metrics rather than silently resetting the world.
+        """
         ns = self._ns
         for graph in list(self._graphs):
             indexes = graph._index_memo
             if indexes:
                 for full_key in [k for k in indexes if k[0] is ns]:
                     del indexes[full_key]
+                    self.stats.evictions += 1
         self._graphs.clear()
+        self._entries = 0
 
 
 #: The process-wide instance :meth:`Matcher.prepare` routes through.

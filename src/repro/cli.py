@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the library's everyday entry points::
+Everyday entry points::
 
     python -m repro datasets   [--scale tiny]
     python -m repro workload   --dataset yeast --size 8 --count 5
@@ -8,10 +8,16 @@ Five subcommands cover the library's everyday entry points::
     python -m repro race       --dataset yeast --size 12 \
                                --algorithms GQL,SPA --rewritings Orig,DND
     python -m repro experiment --name fig2 [--scale tiny]
+    python -m repro serve      --dataset yeast --scale tiny
+    python -m repro bench-serve --dataset yeast --scale tiny \
+                               --out BENCH_service.json
 
 ``experiment`` regenerates a paper figure/table by name (the same
 drivers the benchmark suite uses); at ``--scale tiny`` it answers in
 seconds, at the default scale it reproduces the benchmark numbers.
+``serve`` boots the serving layer and replays a multi-tenant workload
+through it; ``bench-serve`` runs the closed-loop load generator and
+writes throughput + latency percentiles as JSON.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ from collections.abc import Sequence
 from .datasets import summarize_collection, summarize_graph
 from .graphs import dumps_gfu
 from .harness import (
+    FTV_DATASETS,
     FTVExperimentConfig,
+    NFV_DATASETS,
     NFVExperimentConfig,
     diagnose_straggler,
     hard_overlap_table,
@@ -51,9 +59,6 @@ from .harness import (
 from .matching import Budget, available_matchers, make_matcher
 from .psi import PsiNFV, Variant
 from .workload import generate_workload
-
-NFV_DATASETS = ("yeast", "human", "wordnet")
-FTV_DATASETS = ("ppi", "synthetic")
 
 __all__ = ["main", "build_parser"]
 
@@ -336,6 +341,188 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serving layer
+# ----------------------------------------------------------------------
+
+def _build_service(args: argparse.Namespace):
+    """A Service + per-tenant streams for serve/bench-serve."""
+    from .service import Service
+    from .service.admission import AdmissionController, TenantPolicy
+    from .workload import default_tenant_mixes, generate_tenant_stream
+
+    if args.queries < 1:
+        raise SystemExit("--queries must be >= 1")
+    if args.tenants < 1:
+        raise SystemExit("--tenants must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.concurrency < 1:
+        raise SystemExit("--concurrency must be >= 1")
+    width = (
+        len(args.rewritings.split(","))
+        if args.dataset in FTV_DATASETS
+        else len(args.algorithms.split(","))
+        * len(args.rewritings.split(","))
+    )
+    if width > args.workers:
+        raise SystemExit(
+            f"the race is {width} variants wide but the pool has only "
+            f"{args.workers} workers; raise --workers or shrink "
+            "--algorithms/--rewritings"
+        )
+    policy = TenantPolicy(
+        max_in_flight=args.max_in_flight,
+        step_budget=args.budget,
+    )
+    service = Service(
+        workers=args.workers,
+        admission=AdmissionController(default_policy=policy),
+    )
+    service.load_dataset(
+        args.dataset,
+        scale=args.scale,
+        **(
+            {"algorithms": tuple(args.algorithms.split(","))}
+            if args.dataset in NFV_DATASETS
+            else {}
+        ),
+    )
+    # the catalog already built + froze the graphs: grow the workload
+    # streams from them instead of re-building the dataset
+    graphs = service.catalog.get(args.dataset).graphs
+    # more tenants than queries: surplus tenants would have nothing
+    args.tenants = min(args.tenants, args.queries)
+    tenants = args.tenants
+    per_tenant = (args.queries + tenants - 1) // tenants
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    mixes = default_tenant_mixes(
+        tenants,
+        per_tenant,
+        sizes=sizes,
+        repeat_fraction=args.repeat_fraction,
+    )
+    for mix in mixes:
+        service.admission.set_policy(
+            mix.tenant,
+            TenantPolicy(
+                max_in_flight=args.max_in_flight,
+                step_budget=args.budget,
+                weight=mix.weight,
+            ),
+        )
+    streams = {
+        m.tenant: generate_tenant_stream(graphs, m, seed=args.seed)
+        for m in mixes
+    }
+    # trim to exactly the requested query count, preserving tenant order
+    total = sum(len(s) for s in streams.values())
+    excess = total - args.queries
+    for tenant in sorted(streams, reverse=True):
+        while excess > 0 and len(streams[tenant]) > 1:
+            streams[tenant].pop()
+            excess -= 1
+    return service, streams
+
+
+def _serve_options(args: argparse.Namespace):
+    from .service import QueryOptions
+
+    return QueryOptions(
+        algorithms=tuple(args.algorithms.split(",")),
+        rewritings=tuple(args.rewritings.split(",")),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the serving layer and replay a multi-tenant workload."""
+    from .service import run_closed_loop
+
+    service, streams = _build_service(args)
+    report = run_closed_loop(
+        service,
+        args.dataset,
+        streams,
+        options=_serve_options(args),
+        concurrency=args.concurrency,
+    )
+    payload = report.as_json()
+    table = Table(
+        f"serve: {sum(len(s) for s in streams.values())} queries on "
+        f"{args.dataset} ({args.scale}), {args.tenants} tenants, "
+        f"{args.workers} workers",
+        ["tenant", "submitted", "completed", "cache hits", "rejected"],
+    )
+    for tenant, row in sorted(payload["tenants"].items()):
+        table.add_row(
+            tenant, row["submitted"], row["completed"],
+            row["cache_hits"], row["rejected"],
+        )
+    _print(table.render())
+    lat = payload["latency_steps"]
+    if lat:
+        _print(
+            f"latency (steps): p50={lat['p50']} p95={lat['p95']} "
+            f"p99={lat['p99']} max={lat['max']}"
+        )
+    cache = payload["result_cache"]
+    _print(
+        f"result cache: {cache['hits']} hits / {cache['lookups']} "
+        f"lookups ({100 * cache['hit_rate']:.1f}%), "
+        f"{cache['entries']} entries"
+    )
+    _print(
+        f"virtual time {payload['throughput']['virtual_steps']} steps; "
+        f"total work {report.service_stats['work_steps']} steps"
+    )
+    _print(f"results digest {payload['digest']}")
+    if args.verbose:
+        for t in report.completed:
+            r = t.result
+            marker = " [cache]" if t.cache_hit else ""
+            _print(
+                f"  {t.tenant} {t.query.name}: {r.winner_label} "
+                f"in {r.steps} steps, latency {t.latency}{marker}"
+            )
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Closed-loop load generation; writes BENCH_service.json."""
+    import json
+
+    from .service import run_closed_loop
+
+    service, streams = _build_service(args)
+    report = run_closed_loop(
+        service,
+        args.dataset,
+        streams,
+        options=_serve_options(args),
+        concurrency=args.concurrency,
+        config={
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "queries": sum(len(s) for s in streams.values()),
+            "tenants": args.tenants,
+            "workers": args.workers,
+            "concurrency": args.concurrency,
+            "budget": args.budget,
+            "seed": args.seed,
+        },
+    )
+    payload = report.as_json()
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    tp = payload["throughput"]
+    _print(
+        f"{tp['queries']} queries in {tp['virtual_steps']} virtual "
+        f"steps ({tp['queries_per_mstep']:.2f} q/Mstep, "
+        f"{tp['queries_per_second']:.1f} q/s wall); wrote {args.out}"
+    )
+    return 0
+
+
 NFV_EXPERIMENTS = (
     "fig2", "table3", "fig4", "fig6nfv", "fig8", "fig9", "fig13",
     "fig14", "fig15",
@@ -445,6 +632,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("default", "tiny"),
                    default="tiny")
     p.set_defaults(fn=cmd_experiment)
+
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="yeast",
+                       choices=NFV_DATASETS + FTV_DATASETS)
+        p.add_argument("--scale", choices=("default", "tiny"),
+                       default="default")
+        p.add_argument("--queries", type=int, default=50,
+                       help="total queries across all tenants")
+        p.add_argument("--tenants", type=int, default=3)
+        p.add_argument("--workers", type=int, default=4,
+                       help="simulated worker pool size")
+        p.add_argument("--concurrency", type=int, default=1,
+                       help="closed-loop in-flight queries per tenant")
+        p.add_argument("--max-in-flight", type=int, default=4,
+                       help="admission cap per tenant")
+        p.add_argument("--algorithms", default="GQL,SPA")
+        p.add_argument("--rewritings", default="Orig,DND")
+        p.add_argument("--sizes", default="4,8,12",
+                       help="query-size strata (edges)")
+        p.add_argument("--repeat-fraction", type=float, default=0.35,
+                       help="fraction of repeated (isomorphic) queries")
+        p.add_argument("--budget", type=int, default=200_000)
+        p.add_argument("--seed", type=int, default=42)
+
+    p = sub.add_parser(
+        "serve",
+        help="boot the serving layer and replay a multi-tenant workload",
+    )
+    add_serve_args(p)
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per completed query")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="closed-loop service load generator (writes JSON)",
+    )
+    add_serve_args(p)
+    p.add_argument("--out", default="BENCH_service.json")
+    p.set_defaults(fn=cmd_bench_serve)
 
     return parser
 

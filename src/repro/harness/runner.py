@@ -40,6 +40,8 @@ from .config import (
 
 __all__ = [
     "ALL_VARIANT_NAMES",
+    "NFV_DATASETS",
+    "FTV_DATASETS",
     "NFVCostMatrix",
     "FTVCostMatrix",
     "build_nfv_graph",
@@ -53,6 +55,11 @@ __all__ = [
 ALL_VARIANT_NAMES: tuple[str, ...] = (
     ("Orig",) + PAPER_REWRITINGS + RANDOM_INSTANCES
 )
+
+#: The canonical dataset rosters (CLI and serving catalog import
+#: these; the builder dicts below are keyed by exactly these names).
+NFV_DATASETS: tuple[str, ...] = ("yeast", "human", "wordnet")
+FTV_DATASETS: tuple[str, ...] = ("ppi", "synthetic")
 
 
 def build_nfv_graph(dataset: str, scale: str = "default") -> LabeledGraph:

@@ -5,13 +5,16 @@ from .core import (
     BandBreakdown,
     CostRecord,
     DistributionSummary,
+    LatencySummary,
     Thresholds,
     band_breakdown,
     classify,
     max_min_ratio,
+    percentile,
     qla_ratio,
     speedup_values,
     summarize_distribution,
+    summarize_latencies,
     wla_ratio,
 )
 
@@ -20,12 +23,15 @@ __all__ = [
     "BandBreakdown",
     "CostRecord",
     "DistributionSummary",
+    "LatencySummary",
     "Thresholds",
     "band_breakdown",
     "classify",
     "max_min_ratio",
+    "percentile",
     "qla_ratio",
     "speedup_values",
     "summarize_distribution",
+    "summarize_latencies",
     "wla_ratio",
 ]

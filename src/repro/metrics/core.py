@@ -21,6 +21,7 @@ of aggregate metrics:
 
 from __future__ import annotations
 
+import math
 import statistics
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -39,6 +40,9 @@ __all__ = [
     "speedup_values",
     "DistributionSummary",
     "summarize_distribution",
+    "percentile",
+    "LatencySummary",
+    "summarize_latencies",
 ]
 
 
@@ -217,6 +221,61 @@ class DistributionSummary:
             ("max", f"{self.maximum:.2f}"),
             ("median", f"{self.median:.2f}"),
         ]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    The serving layer reports simulated-step latencies as p50/p95/p99;
+    nearest-rank keeps the result an actually-observed latency (and the
+    whole pipeline integer-valued), unlike interpolating estimators.
+    """
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99 + mean/max of a latency sample, in steps."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (BENCH_service.json, service stats)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """Latency summary of one sample (service/bench reporting)."""
+    if not values:
+        raise ValueError("no values")
+    return LatencySummary(
+        count=len(values),
+        mean=statistics.mean(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        maximum=max(values),
+    )
 
 
 def summarize_distribution(values: Sequence[float]) -> DistributionSummary:

@@ -5,6 +5,7 @@ from .executors import (
     AttemptCost,
     OverheadModel,
     RaceOutcome,
+    RaceTask,
     interleaved_race,
     race_from_costs,
     threaded_race,
@@ -19,6 +20,7 @@ __all__ = [
     "AttemptCost",
     "OverheadModel",
     "RaceOutcome",
+    "RaceTask",
     "interleaved_race",
     "race_from_costs",
     "threaded_race",

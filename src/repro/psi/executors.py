@@ -32,6 +32,7 @@ from ..matching.engine import SearchEngine
 __all__ = [
     "OverheadModel",
     "RaceOutcome",
+    "RaceTask",
     "interleaved_race",
     "threaded_race",
     "race_from_costs",
@@ -92,13 +93,8 @@ class RaceOutcome:
         return sum(self.per_variant_steps.values())
 
 
-def interleaved_race(
-    engines: Mapping[object, SearchEngine],
-    budget: Optional[Budget] = None,
-    overhead: OverheadModel = OverheadModel(),
-    quantum: int = DEFAULT_RACE_QUANTUM,
-) -> RaceOutcome:
-    """Deterministic race: round-robin ``quantum`` steps per engine turn.
+class RaceTask:
+    """One race, advanced one quantum-round at a time.
 
     Semantically this is the 1-step round-robin race — the first engine
     to complete wins, ties resolved by mapping order (variant
@@ -123,76 +119,148 @@ def interleaved_race(
 
     The outcome — winner, step counts, ``per_variant_steps`` — is
     therefore *identical* for every ``quantum`` value.
+
+    One call to :meth:`round` executes exactly one turn, so a caller
+    may interleave many races over a shared pool (the serving layer's
+    dispatcher does) without changing any race's outcome — engines are
+    generators and don't notice what runs between their turns.
+    :func:`interleaved_race` is the run-to-completion wrapper.
     """
-    if not engines:
-        raise ValueError("race needs at least one variant")
-    if quantum < 1:
-        raise ValueError("quantum must be >= 1")
-    keys = list(engines)
-    position = {k: i for i, k in enumerate(keys)}
-    alive: dict[object, SearchEngine] = dict(engines)
-    consumed = {k: 0 for k in keys}
-    cap = budget.max_steps if budget and budget.max_steps else None
-    over = overhead.cost(len(keys))
-    target = 0
-    try:
-        while alive:
-            target += quantum
-            if cap is not None and target > cap:
-                target = cap
-            # (completion steps, declaration position, key, outcome)
-            finished: list[tuple[int, int, object, MatchOutcome]] = []
-            for key in keys:
-                gen = alive.get(key)
-                if gen is None:
-                    continue
-                n = consumed[key]
-                while n < target:
-                    try:
-                        inc = next(gen)
-                    except StopIteration as stop:
-                        outcome = stop.value or MatchOutcome()
-                        finished.append((n, position[key], key, outcome))
-                        del alive[key]
-                        break
-                    n += 1 if inc is None else inc
-                consumed[key] = n
-                if key in alive and cap is not None and n >= cap:
-                    gen.close()
-                    del alive[key]
-            if finished:
-                finished.sort(key=lambda f: (f[0], f[1]))
-                won, won_pos, key, outcome = finished[0]
-                outcome.steps = won
-                per_variant = {}
-                for k in keys:
-                    charged = won + (1 if position[k] < won_pos else 0)
-                    if cap is not None and charged > cap:
-                        charged = cap
-                    per_variant[k] = charged
-                return RaceOutcome(
-                    winner=key,
-                    outcome=outcome,
-                    steps=won + over,
-                    found=outcome.found,
-                    killed=False,
-                    overhead_steps=over,
-                    per_variant_steps=per_variant,
-                )
-    finally:
-        for gen in alive.values():
+
+    def __init__(
+        self,
+        engines: Mapping[object, SearchEngine],
+        budget: Optional[Budget] = None,
+        overhead: OverheadModel = OverheadModel(),
+        quantum: int = DEFAULT_RACE_QUANTUM,
+    ) -> None:
+        if not engines:
+            raise ValueError("race needs at least one variant")
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.keys = list(engines)
+        self.position = {k: i for i, k in enumerate(self.keys)}
+        self.alive: dict[object, SearchEngine] = dict(engines)
+        self.consumed = {k: 0 for k in self.keys}
+        self.cap = (
+            budget.max_steps if budget and budget.max_steps else None
+        )
+        self.overhead = overhead
+        self.quantum = quantum
+        self.target = 0
+        self.outcome: Optional[RaceOutcome] = None
+        #: engine-steps advanced by the most recent round (schedulers
+        #: charge actual work, not reconstructed per-variant bills)
+        self.last_round_steps = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether the race has produced its outcome."""
+        return self.outcome is not None
+
+    @property
+    def width(self) -> int:
+        """Simulated threads one round occupies (alive variants)."""
+        return len(self.alive)
+
+    def round(self) -> Optional[RaceOutcome]:
+        """Advance every alive engine one quantum; finish if possible."""
+        if self.outcome is not None:
+            return self.outcome
+        cap = self.cap
+        self.target += self.quantum
+        if cap is not None and self.target > cap:
+            self.target = cap
+        # (completion steps, declaration position, key, outcome)
+        finished: list[tuple[int, int, object, MatchOutcome]] = []
+        advanced = 0
+        for key in self.keys:
+            gen = self.alive.get(key)
+            if gen is None:
+                continue
+            n = self.consumed[key]
+            begin = n
+            while n < self.target:
+                try:
+                    inc = next(gen)
+                except StopIteration as stop:
+                    outcome = stop.value or MatchOutcome()
+                    finished.append((n, self.position[key], key, outcome))
+                    del self.alive[key]
+                    break
+                n += 1 if inc is None else inc
+            self.consumed[key] = n
+            advanced += n - begin
+            if key in self.alive and cap is not None and n >= cap:
+                gen.close()
+                del self.alive[key]
+        self.last_round_steps = advanced
+        over = self.overhead.cost(len(self.keys))
+        if finished:
+            finished.sort(key=lambda f: (f[0], f[1]))
+            won, won_pos, key, outcome = finished[0]
+            outcome.steps = won
+            per_variant = {}
+            for k in self.keys:
+                charged = won + (1 if self.position[k] < won_pos else 0)
+                if cap is not None and charged > cap:
+                    charged = cap
+                per_variant[k] = charged
+            self.close()
+            self.outcome = RaceOutcome(
+                winner=key,
+                outcome=outcome,
+                steps=won + over,
+                found=outcome.found,
+                killed=False,
+                overhead_steps=over,
+                per_variant_steps=per_variant,
+            )
+        elif not self.alive:
+            # every variant hit the cap: the race is killed at the budget
+            assert cap is not None
+            self.outcome = RaceOutcome(
+                winner=None,
+                outcome=None,
+                steps=cap + over,
+                found=False,
+                killed=True,
+                overhead_steps=over,
+                per_variant_steps={k: cap for k in self.keys},
+            )
+        return self.outcome
+
+    def run_to_completion(self) -> RaceOutcome:
+        """Drive rounds until the race resolves."""
+        try:
+            while self.outcome is None:
+                self.round()
+        finally:
+            # an engine that raised mid-round must not leak the rest
+            self.close()
+        return self.outcome
+
+    def close(self) -> None:
+        """Close any still-alive engines (kill the losers)."""
+        for gen in self.alive.values():
             gen.close()
-    # every variant hit the cap: the race is killed at the budget
-    assert cap is not None
-    return RaceOutcome(
-        winner=None,
-        outcome=None,
-        steps=cap + over,
-        found=False,
-        killed=True,
-        overhead_steps=over,
-        per_variant_steps={k: cap for k in keys},
-    )
+        self.alive.clear()
+
+
+def interleaved_race(
+    engines: Mapping[object, SearchEngine],
+    budget: Optional[Budget] = None,
+    overhead: OverheadModel = OverheadModel(),
+    quantum: int = DEFAULT_RACE_QUANTUM,
+) -> RaceOutcome:
+    """Deterministic race: round-robin ``quantum`` steps per engine turn.
+
+    The run-to-completion form of :class:`RaceTask` — see its docstring
+    for the winner/charge reconstruction argument.
+    """
+    return RaceTask(
+        engines, budget=budget, overhead=overhead, quantum=quantum
+    ).run_to_completion()
 
 
 def threaded_race(

@@ -94,7 +94,10 @@ class PsiNFV:
         self._matchers: dict[str, Matcher] = {}
         self._indexes: dict[str, GraphIndex] = {}
         self._rewritten: dict[str, RewrittenQuery] = {}
-        self._rewritten_query_id: Optional[int] = None
+        # the memo's owner is held strongly and compared by identity:
+        # an id()-keyed memo would go stale when a dead query's address
+        # is reused by a new one (CPython recycles addresses)
+        self._rewritten_query: Optional[LabeledGraph] = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -123,9 +126,9 @@ class PsiNFV:
         rng: Optional[random.Random] = None,
     ) -> RewrittenQuery:
         """Cached rewritten instance of ``query`` (per-query cache)."""
-        if self._rewritten_query_id != id(query):
+        if self._rewritten_query is not query:
             self._rewritten = {}
-            self._rewritten_query_id = id(query)
+            self._rewritten_query = query
         rq = self._rewritten.get(rewriting)
         if rq is None:
             rq = make_rewriting(rewriting).apply(query, self.stats, rng)

@@ -24,7 +24,12 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["TaskResult", "ScheduleOutcome", "first_match_schedule"]
+__all__ = [
+    "TaskResult",
+    "ScheduleOutcome",
+    "first_match_schedule",
+    "FairShareLedger",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,85 @@ class ScheduleOutcome:
     killed: bool
     executed: int
     task_results: list[TaskResult] = field(default_factory=list)
+
+
+class FairShareLedger:
+    """Weighted fair-share accounting in the step-cost currency.
+
+    The serving layer multiplexes many clients over one simulated worker
+    pool; *who runs next* is decided by the same cost algebra the
+    schedule simulator uses — charged steps, not wall clock.  Each key
+    (a tenant) accrues the steps its work consumed; its **virtual time**
+    is ``charged / weight``, and :meth:`pick` selects the candidate with
+    the least virtual time (classic weighted fair queueing, made
+    deterministic by breaking ties on registration order).
+
+    Charges accept plain step counts or a :class:`TaskResult` /
+    :class:`ScheduleOutcome`, so admission control can charge exactly
+    what :func:`first_match_schedule`-style simulations report.
+    """
+
+    def __init__(self) -> None:
+        self._charged: dict[object, int] = {}
+        self._weights: dict[object, float] = {}
+        self._order: dict[object, int] = {}
+
+    def register(self, key: object, weight: float = 1.0) -> None:
+        """Declare ``key`` with a fair-share ``weight`` (idempotent)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if key not in self._order:
+            self._order[key] = len(self._order)
+            self._charged[key] = 0
+        self._weights[key] = weight
+
+    def charge(self, key: object, cost: "int | TaskResult | ScheduleOutcome") -> None:
+        """Charge ``key`` the steps of ``cost``."""
+        if isinstance(cost, TaskResult):
+            steps = cost.steps
+        elif isinstance(cost, ScheduleOutcome):
+            steps = cost.time
+        else:
+            steps = int(cost)
+        if steps < 0:
+            raise ValueError("cannot charge negative steps")
+        if key not in self._order:
+            self.register(key)
+        self._charged[key] += steps
+
+    def charged(self, key: object) -> int:
+        """Total steps charged to ``key`` so far."""
+        return self._charged.get(key, 0)
+
+    def virtual_time(self, key: object) -> float:
+        """``charged / weight`` — the WFQ service received by ``key``."""
+        if key not in self._order:
+            return 0.0
+        return self._charged[key] / self._weights[key]
+
+    def registration_index(self, key: object) -> int:
+        """Deterministic tie-break rank (registration order)."""
+        return self._order.get(key, len(self._order))
+
+    def pick(self, candidates: Sequence[object]) -> Optional[object]:
+        """The candidate owed the most service (least virtual time).
+
+        Ties break by registration order, then by candidate position —
+        fully deterministic for any fixed submission history.
+        """
+        best = None
+        best_rank: Optional[tuple] = None
+        for pos, key in enumerate(candidates):
+            if key not in self._order:
+                self.register(key)
+            rank = (self.virtual_time(key), self._order[key], pos)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = key, rank
+        return best
+
+    def snapshot(self) -> dict:
+        """Per-key charged steps (metrics/debugging)."""
+        return dict(self._charged)
 
 
 def first_match_schedule(

@@ -1,0 +1,61 @@
+"""`repro.service` — a concurrent graph-query serving layer.
+
+The paper's Ψ-framework answers one query at a time; the ROADMAP's
+north star serves heavy traffic.  This package is the bridge: a
+dataset catalog that keeps graphs and their indexes warm, admission
+control with per-tenant fair share, a deterministic dispatcher that
+interleaves many Ψ races over a bounded simulated worker pool, and a
+canonical-form result/plan cache in front of it all.
+
+Quickstart::
+
+    from repro.service import Service, QueryOptions
+
+    svc = Service(workers=4)
+    svc.load_dataset("yeast", scale="tiny")
+    ticket = svc.submit("yeast", query_graph, tenant="alice")
+    svc.run_until_idle()
+    print(ticket.result.winner_label, ticket.result.steps)
+
+Everything runs on the virtual step clock: two identical submission
+histories produce identical winners, step bills, and latencies.
+"""
+
+from .admission import (
+    AdmissionController,
+    TenantPolicy,
+    Ticket,
+    TicketState,
+)
+from .cache import CachedResult, ResultCache
+from .canon import canonical_query_key
+from .catalog import DatasetCatalog, DatasetEntry
+from .dispatcher import Dispatcher, RaceTask
+from .loadgen import LoadReport, replay, run_closed_loop
+from .service import (
+    QueryOptions,
+    Service,
+    ServiceResult,
+    results_digest,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CachedResult",
+    "DatasetCatalog",
+    "DatasetEntry",
+    "Dispatcher",
+    "LoadReport",
+    "QueryOptions",
+    "RaceTask",
+    "ResultCache",
+    "Service",
+    "ServiceResult",
+    "TenantPolicy",
+    "Ticket",
+    "TicketState",
+    "canonical_query_key",
+    "replay",
+    "results_digest",
+    "run_closed_loop",
+]

@@ -1,0 +1,245 @@
+"""Admission control: per-tenant in-flight caps, budgets, fair share.
+
+Every submitted query becomes a :class:`Ticket`.  Admission enforces
+three things before the dispatcher ever sees work:
+
+* **queue bounds** — a tenant whose backlog exceeds ``max_queued`` gets
+  an immediate ``REJECTED`` ticket (load shedding beats unbounded
+  queues);
+* **in-flight caps** — at most ``max_in_flight`` of a tenant's queries
+  occupy dispatcher slots at once;
+* **fair share** — when slots free up, the next tenant served is the
+  one with the least weighted consumed steps, via
+  :class:`repro.scheduling.FairShareLedger` (the same step-cost algebra
+  as the schedule simulator).
+
+Per-query step budgets default from the tenant policy, mirroring the
+paper's kill cap: a service must bound every query's worst case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..graphs import LabeledGraph
+from ..scheduling import FairShareLedger
+
+__all__ = ["TicketState", "TenantPolicy", "Ticket", "AdmissionController"]
+
+
+class TicketState(Enum):
+    """Lifecycle of one submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Limits and fair-share weight for one tenant."""
+
+    max_in_flight: int = 4
+    max_queued: int = 256
+    step_budget: int = 200_000
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        if self.step_budget < 1:
+            raise ValueError("step_budget must be >= 1")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+@dataclass
+class Ticket:
+    """Handle for one submitted query (the ``Service.submit`` return).
+
+    Times are in the service's virtual step clock; ``latency`` includes
+    queueing delay — that is the number a client experiences.
+    """
+
+    id: int
+    tenant: str
+    dataset: str
+    query: LabeledGraph
+    state: TicketState
+    budget_steps: int
+    submit_time: int
+    start_time: Optional[int] = None
+    finish_time: Optional[int] = None
+    result: Optional[object] = None
+    cache_hit: bool = False
+    reject_reason: str = ""
+
+    @property
+    def done(self) -> bool:
+        """Whether the ticket reached a terminal state."""
+        return self.state in (TicketState.DONE, TicketState.REJECTED)
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Submit-to-finish virtual latency in steps (None while open)."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+class AdmissionController:
+    """Queue + fair-share gate in front of the dispatcher."""
+
+    def __init__(
+        self,
+        default_policy: TenantPolicy = TenantPolicy(),
+        policies: Optional[dict[str, TenantPolicy]] = None,
+    ) -> None:
+        self.default_policy = default_policy
+        self.policies = dict(policies or {})
+        self.ledger = FairShareLedger()
+        self._queues: dict[str, list[Ticket]] = {}
+        self._in_flight: dict[str, int] = {}
+        self._ids = itertools.count()
+        self.rejected = 0
+        self.admitted = 0
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The effective policy for ``tenant``."""
+        return self.policies.get(tenant, self.default_policy)
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        """Install a per-tenant policy override."""
+        self.policies[tenant] = policy
+        self.ledger.register(tenant, policy.weight)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def issue(
+        self,
+        tenant: str,
+        dataset: str,
+        query: LabeledGraph,
+        now: int,
+        budget_steps: Optional[int] = None,
+    ) -> Ticket:
+        """Create a ticket (registering the tenant) without queueing it.
+
+        The service uses this for cache hits: an answered-at-submit
+        query never occupies queue or worker capacity.
+        """
+        policy = self.policy(tenant)
+        self.ledger.register(tenant, policy.weight)
+        return Ticket(
+            id=next(self._ids),
+            tenant=tenant,
+            dataset=dataset,
+            query=query,
+            state=TicketState.QUEUED,
+            budget_steps=(
+                budget_steps if budget_steps is not None
+                else policy.step_budget
+            ),
+            submit_time=now,
+        )
+
+    def enqueue(self, ticket: Ticket) -> Ticket:
+        """Queue ``ticket``, or reject it when the tenant queue is full."""
+        policy = self.policy(ticket.tenant)
+        queue = self._queues.setdefault(ticket.tenant, [])
+        if len(queue) >= policy.max_queued:
+            ticket.state = TicketState.REJECTED
+            ticket.reject_reason = (
+                f"queue full ({policy.max_queued} queued)"
+            )
+            ticket.finish_time = ticket.submit_time
+            self.rejected += 1
+            return ticket
+        queue.append(ticket)
+        return ticket
+
+    def submit(
+        self,
+        tenant: str,
+        dataset: str,
+        query: LabeledGraph,
+        now: int,
+        budget_steps: Optional[int] = None,
+    ) -> Ticket:
+        """Create a ticket for ``query`` and queue (or reject) it."""
+        return self.enqueue(
+            self.issue(tenant, dataset, query, now, budget_steps)
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch handshake
+    # ------------------------------------------------------------------
+
+    def runnable_tenants(self) -> list[str]:
+        """Tenants with backlog and spare in-flight allowance."""
+        out = []
+        for tenant, queue in sorted(self._queues.items()):
+            if not queue:
+                continue
+            if self._in_flight.get(tenant, 0) < self.policy(tenant).max_in_flight:
+                out.append(tenant)
+        return out
+
+    def next_ticket(self) -> Optional[Ticket]:
+        """Pop the fair-share choice among runnable tenants' heads."""
+        candidates = self.runnable_tenants()
+        if not candidates:
+            return None
+        tenant = self.ledger.pick(candidates)
+        assert tenant is not None
+        ticket = self._queues[tenant].pop(0)
+        ticket.state = TicketState.RUNNING
+        self._in_flight[tenant] = self._in_flight.get(tenant, 0) + 1
+        self.admitted += 1
+        return ticket
+
+    def charge(self, tenant: str, steps: int) -> None:
+        """Charge consumed steps to the tenant's fair-share account."""
+        self.ledger.charge(tenant, steps)
+
+    def on_complete(self, ticket: Ticket) -> None:
+        """Release the in-flight slot of a finished ticket."""
+        self._in_flight[ticket.tenant] = max(
+            0, self._in_flight.get(ticket.tenant, 0) - 1
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def queued(self, tenant: Optional[str] = None) -> int:
+        """Backlog length (one tenant, or all)."""
+        if tenant is not None:
+            return len(self._queues.get(tenant, []))
+        return sum(len(q) for q in self._queues.values())
+
+    def in_flight(self, tenant: Optional[str] = None) -> int:
+        """Running-query count (one tenant, or all)."""
+        if tenant is not None:
+            return self._in_flight.get(tenant, 0)
+        return sum(self._in_flight.values())
+
+    def stats(self) -> dict:
+        """Counters + per-tenant charged steps."""
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "queued": self.queued(),
+            "in_flight": self.in_flight(),
+            "charged_steps": {
+                str(k): v for k, v in self.ledger.snapshot().items()
+            },
+        }

@@ -1,0 +1,275 @@
+"""Dataset catalog: load named graph collections once, keep them warm.
+
+The experiment harness rebuilds graphs and matcher indexes per run;
+a serving layer cannot.  The catalog loads a named dataset **once**,
+freezes it (mutation after load invalidates every prepared index, so it
+is checked, not trusted), prepares the per-algorithm matcher indexes
+up front, builds the FTV filter (Grapes/GGSX) for collection datasets,
+and reports an approximate memory footprint so operators can see what
+keeping a dataset warm costs.
+
+Entries wrap:
+
+* NFV datasets (yeast/human/wordnet): one stored graph + a
+  :class:`repro.psi.PsiNFV` whose matcher indexes are pre-built;
+* FTV datasets (ppi/synthetic): the graph collection + a Grapes (or
+  GGSX) filter index and a warm VF2 verifier per stored graph.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs import LabeledGraph
+from ..harness import (
+    FTV_DATASETS,
+    NFV_DATASETS,
+    build_ftv_graphs,
+    build_nfv_graph,
+)
+from ..indexing import FTVIndex, GGSXIndex, GrapesIndex
+from ..psi import PsiNFV
+from ..psi.executors import OverheadModel
+from ..rewriting import LabelStats
+
+__all__ = ["DatasetEntry", "DatasetCatalog", "approx_deep_bytes"]
+
+
+def approx_deep_bytes(obj: object, max_objects: int = 500_000) -> int:
+    """Approximate deep ``sys.getsizeof`` of ``obj``.
+
+    Traverses containers and ``__dict__``/``__slots__`` with cycle
+    detection, stopping after ``max_objects`` nodes (returning the
+    partial sum).  Good enough for capacity accounting; not an exact
+    allocator report.
+    """
+    seen: set[int] = set()
+    stack = [obj]
+    total = 0
+    while stack and len(seen) < max_objects:
+        cur = stack.pop()
+        if id(cur) in seen:
+            continue
+        seen.add(id(cur))
+        try:
+            total += sys.getsizeof(cur)
+        except TypeError:  # pragma: no cover - exotic objects
+            continue
+        if isinstance(cur, dict):
+            stack.extend(cur.keys())
+            stack.extend(cur.values())
+        elif isinstance(cur, (list, tuple, set, frozenset)):
+            stack.extend(cur)
+        else:
+            d = getattr(cur, "__dict__", None)
+            if d is not None:
+                stack.append(d)
+            for slot in getattr(type(cur), "__slots__", ()) or ():
+                if hasattr(cur, slot):
+                    stack.append(getattr(cur, slot))
+    return total
+
+
+@dataclass
+class DatasetEntry:
+    """One warm dataset and everything prepared for it."""
+
+    name: str
+    scale: str
+    kind: str  # "nfv" | "ftv"
+    graphs: list[LabeledGraph]
+    psi: Optional[PsiNFV] = None
+    ftv_index: Optional[FTVIndex] = None
+    stats: Optional[LabelStats] = None
+    prepared_algorithms: tuple[str, ...] = ()
+    #: full load configuration (re-load compatibility witness)
+    load_config: tuple = ()
+    #: (order, size) checksums taken at load time (freeze witness)
+    _shape: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    #: bytes of the frozen graphs / FTV index, computed once at freeze
+    _graph_bytes: int = 0
+    _ftv_bytes: int = 0
+
+    @property
+    def graph(self) -> LabeledGraph:
+        """The stored graph of an NFV entry."""
+        if self.kind != "nfv":
+            raise ValueError(f"dataset {self.name!r} is a collection")
+        return self.graphs[0]
+
+    def freeze(self) -> None:
+        """Record the loaded graphs' shapes as the frozen baseline.
+
+        The graph/FTV-index byte estimates are taken here, once —
+        frozen data never changes, so :meth:`memory_report` must not
+        re-walk it per stats poll.
+        """
+        self._shape = tuple((g.order, g.size) for g in self.graphs)
+        self._graph_bytes = sum(
+            approx_deep_bytes(g.kernel()) for g in self.graphs
+        )
+        self._ftv_bytes = (
+            approx_deep_bytes(self.ftv_index)
+            if self.ftv_index is not None
+            else 0
+        )
+
+    def verify_frozen(self) -> None:
+        """Raise if any graph mutated since :meth:`freeze`.
+
+        Mutation resets the graph-side index memo, so serving would
+        silently re-index per query — a correctness-of-accounting bug
+        the catalog turns into a loud error.
+        """
+        now = tuple((g.order, g.size) for g in self.graphs)
+        if now != self._shape:
+            raise RuntimeError(
+                f"dataset {self.name!r} mutated after load; "
+                "reload it through the catalog"
+            )
+
+    def memory_report(self) -> dict:
+        """Approximate bytes held by graphs and prepared indexes.
+
+        Frozen parts (graphs, FTV index) use the freeze-time estimate;
+        only the per-graph index memos — which can still grow as new
+        matchers prepare — are re-walked.
+        """
+        index_bytes = 0
+        index_entries = 0
+        for g in self.graphs:
+            memo = g._index_memo
+            if memo:
+                index_entries += len(memo)
+                index_bytes += approx_deep_bytes(memo)
+        return {
+            "graphs": len(self.graphs),
+            "vertices": sum(g.order for g in self.graphs),
+            "edges": sum(g.size for g in self.graphs),
+            "graph_bytes": self._graph_bytes,
+            "prepared_indexes": index_entries,
+            "index_bytes": index_bytes,
+            "ftv_index_bytes": self._ftv_bytes,
+            "total_bytes": (
+                self._graph_bytes + index_bytes + self._ftv_bytes
+            ),
+        }
+
+
+class DatasetCatalog:
+    """Named, load-once registry of warm datasets.
+
+    ``overhead`` is the race overhead model handed to each dataset's
+    :class:`PsiNFV` (the service charges it per race).
+    """
+
+    def __init__(self, overhead: OverheadModel = OverheadModel()) -> None:
+        self.overhead = overhead
+        self._entries: dict[str, DatasetEntry] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        name: str,
+        scale: str = "default",
+        algorithms: tuple[str, ...] = ("GQL", "SPA"),
+        ftv_method: str = "Grapes",
+        max_path_length: int = 3,
+    ) -> DatasetEntry:
+        """Load ``name`` and warm its indexes (idempotent per name).
+
+        Re-loading a loaded dataset with the *same configuration*
+        returns the existing entry — the whole point of the catalog is
+        to never build twice.  A re-load with a different scale,
+        algorithm roster, or FTV method raises: silently answering
+        from the old configuration would corrupt results; call
+        :meth:`unload` first if the change is intended.
+        """
+        config = (scale, tuple(algorithms), ftv_method, max_path_length)
+        existing = self._entries.get(name)
+        if existing is not None:
+            if existing.load_config != config:
+                raise ValueError(
+                    f"dataset {name!r} already loaded with config "
+                    f"{existing.load_config}; unload it before "
+                    f"re-loading with {config}"
+                )
+            existing.verify_frozen()
+            return existing
+        if name in NFV_DATASETS:
+            graph = build_nfv_graph(name, scale)
+            psi = PsiNFV(graph, overhead=self.overhead)
+            for alg in algorithms:
+                psi.prepared(alg)  # warm the matcher indexes now
+            entry = DatasetEntry(
+                name=name,
+                scale=scale,
+                kind="nfv",
+                graphs=[graph],
+                psi=psi,
+                stats=psi.stats,
+                prepared_algorithms=tuple(algorithms),
+                load_config=config,
+            )
+        elif name in FTV_DATASETS:
+            graphs = build_ftv_graphs(name, scale)
+            if ftv_method == "Grapes":
+                index: FTVIndex = GrapesIndex(
+                    graphs, max_path_length=max_path_length
+                )
+            elif ftv_method == "GGSX":
+                index = GGSXIndex(graphs, max_path_length=max_path_length)
+            else:
+                raise ValueError(f"unknown FTV method {ftv_method!r}")
+            entry = DatasetEntry(
+                name=name,
+                scale=scale,
+                kind="ftv",
+                graphs=graphs,
+                ftv_index=index,
+                stats=LabelStats.of_collection(graphs),
+                load_config=config,
+            )
+        else:
+            raise ValueError(
+                f"unknown dataset {name!r}; known: "
+                f"{NFV_DATASETS + FTV_DATASETS}"
+            )
+        entry.freeze()
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> DatasetEntry:
+        """The loaded entry for ``name`` (KeyError when not loaded)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(
+                f"dataset {name!r} not loaded; catalog holds "
+                f"{sorted(self._entries)}"
+            )
+        entry.verify_frozen()
+        return entry
+
+    def unload(self, name: str) -> None:
+        """Drop a dataset (its graphs take their index memos with them)."""
+        self._entries.pop(name, None)
+
+    def datasets(self) -> list[str]:
+        """Names of the loaded datasets."""
+        return sorted(self._entries)
+
+    def memory_report(self) -> dict:
+        """Per-dataset + total approximate memory accounting."""
+        per = {
+            name: entry.memory_report()
+            for name, entry in sorted(self._entries.items())
+        }
+        return {
+            "datasets": per,
+            "total_bytes": sum(r["total_bytes"] for r in per.values()),
+        }

@@ -1,0 +1,118 @@
+"""Deterministic concurrent dispatch of many Ψ races.
+
+The paper runs one race at a time; a service interleaves many.  The
+single-query semantics stay **bit-for-bit identical** to
+:func:`repro.psi.executors.interleaved_race` because both run the same
+loop: :class:`repro.psi.executors.RaceTask` (re-exported here), whose
+:meth:`~repro.psi.executors.RaceTask.round` executes exactly one
+quantum turn and can therefore be interleaved with other races —
+engines are generators and don't notice what runs between their turns.
+
+:class:`Dispatcher` owns ``workers`` simulated workers.  Each tick it
+walks the active races in the caller-provided priority order (the
+service passes fair-share order) and runs one round per race while
+worker slots remain; a race's variants are co-scheduled (the paper's
+thread-group model), so a race needs ``len(alive_variants)`` slots.
+The virtual clock advances one quantum per tick — the parallel time of
+the workers' step slices.
+
+Determinism: engines are deterministic generators, the tick order is a
+pure function of submission history, and the clock is virtual — two
+runs of the same workload produce identical winners, step totals, and
+latencies, on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..psi.executors import (
+    DEFAULT_RACE_QUANTUM,
+    RaceOutcome,
+    RaceTask,
+)
+
+__all__ = ["RaceTask", "Dispatcher"]
+
+
+class Dispatcher:
+    """Bounded worker pool interleaving many :class:`RaceTask`\\ s."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        quantum: int = DEFAULT_RACE_QUANTUM,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.quantum = quantum
+        self.clock = 0
+        self.ticks = 0
+        #: total engine-steps executed across all races (work, not time)
+        self.work_steps = 0
+        self._active: dict[object, RaceTask] = {}
+
+    def admit(self, token: object, race: RaceTask) -> None:
+        """Attach a race to the pool under an opaque ``token``.
+
+        A race wider than the pool can never be co-scheduled — reject
+        it loudly rather than deadlocking the tick loop.
+        """
+        if race.width > self.workers:
+            raise ValueError(
+                f"race has {race.width} variants but the pool has "
+                f"{self.workers} workers; shrink the variant set or "
+                "grow the pool"
+            )
+        self._active[token] = race
+
+    @property
+    def active(self) -> int:
+        """Number of races currently attached."""
+        return len(self._active)
+
+    def tokens(self) -> list:
+        """Tokens of the attached races, in admission order."""
+        return list(self._active)
+
+    def slots_free(self) -> int:
+        """Worker slots not claimed by active races this tick."""
+        return self.workers - sum(r.width for r in self._active.values())
+
+    def tick(
+        self, order: list
+    ) -> list[tuple[object, int, Optional[RaceOutcome]]]:
+        """One scheduling quantum over the pool.
+
+        ``order`` is the priority order over tokens (the service passes
+        fair-share order); unknown tokens are ignored, active tokens
+        missing from ``order`` run last in admission order.  Returns one
+        ``(token, work_steps_this_tick, outcome_or_None)`` event per
+        race that ran this tick (outcome set when it finished); the
+        clock advances by one quantum.
+        """
+        sequence = [t for t in order if t in self._active]
+        sequence += [t for t in self._active if t not in sequence]
+        slots = self.workers
+        events: list[tuple[object, int, Optional[RaceOutcome]]] = []
+        for token in sequence:
+            race = self._active[token]
+            need = max(1, race.width)
+            if slots < need:
+                continue
+            slots -= need
+            outcome = race.round()
+            self.work_steps += race.last_round_steps
+            if outcome is not None:
+                del self._active[token]
+            events.append((token, race.last_round_steps, outcome))
+        self.clock += self.quantum
+        self.ticks += 1
+        return events
+
+    def cancel(self, token: object) -> None:
+        """Detach and kill a race."""
+        race = self._active.pop(token, None)
+        if race is not None:
+            race.close()

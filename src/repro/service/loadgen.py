@@ -1,0 +1,189 @@
+"""Workload replay and closed-loop load generation for the service.
+
+Two drivers:
+
+* :func:`run_closed_loop` — each tenant keeps ``concurrency`` queries
+  in flight, submitting its next query the tick its previous one
+  completes: the classic closed-loop generator whose throughput is
+  capacity, not arrival-rate, limited.  Both ``repro serve`` and
+  ``repro bench-serve`` replay their workloads through this driver.
+* :func:`replay` — submit a prebuilt multi-tenant arrival stream up
+  front and drain the service; the open-loop flood that exercises
+  queueing and load shedding (library/test use).
+
+Both return a :class:`LoadReport` whose :meth:`LoadReport.as_json` is
+the ``BENCH_service.json`` payload: throughput (queries per million
+simulated steps and per wall second) plus p50/p95/p99 simulated-step
+latency and cache/admission counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..metrics import summarize_latencies
+from ..workload import MixedQuery
+from .admission import Ticket, TicketState
+from .service import QueryOptions, Service, results_digest
+
+__all__ = ["LoadReport", "replay", "run_closed_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    tickets: list[Ticket]
+    virtual_steps: int
+    wall_seconds: float
+    digest: str
+    service_stats: dict
+    config: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> list[Ticket]:
+        """Tickets that produced results (rejections excluded)."""
+        return [
+            t for t in self.tickets if t.state is TicketState.DONE
+        ]
+
+    def as_json(self) -> dict:
+        """The BENCH_service.json payload."""
+        done = self.completed
+        latencies = [t.latency or 0 for t in done]
+        per_tenant: dict[str, dict] = {}
+        for t in self.tickets:
+            row = per_tenant.setdefault(
+                t.tenant,
+                {"submitted": 0, "completed": 0, "cache_hits": 0,
+                 "rejected": 0},
+            )
+            row["submitted"] += 1
+            if t.state is TicketState.DONE:
+                row["completed"] += 1
+                row["cache_hits"] += int(t.cache_hit)
+            elif t.state is TicketState.REJECTED:
+                row["rejected"] += 1
+        msteps = self.virtual_steps / 1e6 if self.virtual_steps else 0.0
+        return {
+            "bench": "service",
+            "config": self.config,
+            "digest": self.digest,
+            "throughput": {
+                "queries": len(done),
+                "virtual_steps": self.virtual_steps,
+                "queries_per_mstep": (
+                    len(done) / msteps if msteps else float(len(done))
+                ),
+                "wall_seconds": self.wall_seconds,
+                "queries_per_second": (
+                    len(done) / self.wall_seconds
+                    if self.wall_seconds > 0
+                    else 0.0
+                ),
+            },
+            "latency_steps": (
+                summarize_latencies(latencies).as_dict()
+                if latencies
+                else None
+            ),
+            "tenants": per_tenant,
+            "result_cache": self.service_stats["result_cache"],
+            "prepare_cache": self.service_stats["prepare_cache"],
+            "admission": self.service_stats["admission"],
+        }
+
+
+def _report(
+    service: Service,
+    tickets: list[Ticket],
+    wall_seconds: float,
+    config: dict,
+) -> LoadReport:
+    return LoadReport(
+        tickets=tickets,
+        virtual_steps=service.clock,
+        wall_seconds=wall_seconds,
+        digest=results_digest(
+            [t for t in tickets if t.state is TicketState.DONE]
+        ),
+        service_stats=service.stats(),
+        config=config,
+    )
+
+
+def replay(
+    service: Service,
+    dataset: str,
+    stream: list[MixedQuery],
+    options: QueryOptions | None = None,
+    config: dict | None = None,
+) -> LoadReport:
+    """Open-loop flood: submit the whole stream up front, then drain.
+
+    Saturates admission queues by design (repeats miss the cache when
+    their original is still in flight) — use :func:`run_closed_loop`
+    for capacity measurement.
+    """
+    options = options or QueryOptions()
+    start = time.perf_counter()
+    tickets = [
+        service.submit(
+            dataset, mq.query.graph, tenant=mq.tenant, options=options
+        )
+        for mq in stream
+    ]
+    service.run_until_idle()
+    wall = time.perf_counter() - start
+    return _report(service, tickets, wall, config or {})
+
+
+def run_closed_loop(
+    service: Service,
+    dataset: str,
+    streams: dict[str, list[MixedQuery]],
+    options: QueryOptions | None = None,
+    concurrency: int = 1,
+    config: dict | None = None,
+) -> LoadReport:
+    """Closed-loop load: each tenant keeps ``concurrency`` in flight.
+
+    A tenant's next query is submitted the tick its oldest outstanding
+    one completes — so measured throughput reflects service capacity,
+    the number the ROADMAP's "heavy traffic" goal cares about.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    pending = {t: list(s) for t, s in streams.items()}
+    outstanding = {t: 0 for t in streams}
+    tickets: list[Ticket] = []
+    start = time.perf_counter()
+
+    def feed() -> None:
+        # tenant order is sorted for determinism
+        for tenant in sorted(pending):
+            while pending[tenant] and outstanding[tenant] < concurrency:
+                mq = pending[tenant].pop(0)
+                ticket = service.submit(
+                    dataset,
+                    mq.query.graph,
+                    tenant=tenant,
+                    options=options,
+                )
+                tickets.append(ticket)
+                if ticket.done:
+                    continue  # cache hit or rejection: slot still free
+                outstanding[tenant] += 1
+
+    feed()
+    while True:
+        finished = service.pump()
+        for t in finished:
+            outstanding[t.tenant] -= 1
+        if finished:
+            feed()
+        if service.idle and not any(pending.values()):
+            break
+    wall = time.perf_counter() - start
+    return _report(service, tickets, wall, config or {})

@@ -1,0 +1,439 @@
+"""`repro.service` façade: submit queries, pump ticks, read stats.
+
+:class:`Service` composes the four serving pieces:
+
+* :class:`~repro.service.catalog.DatasetCatalog` — warm datasets;
+* :class:`~repro.service.admission.AdmissionController` — queues,
+  per-tenant caps, fair share;
+* :class:`~repro.service.dispatcher.Dispatcher` — many Ψ races over a
+  bounded simulated worker pool, one quantum per tick;
+* :class:`~repro.service.cache.ResultCache` — canonical-form result
+  and plan cache.
+
+The contract that makes the service *testable against the paper's
+machinery*: a query served alone produces bit-for-bit the same
+:class:`RaceOutcome` as ``PsiNFV.race`` with the interleaved executor,
+and concurrency never changes any query's winner or step bill — only
+its latency.  Everything is virtual-time deterministic: two runs of the
+same submission history give identical results, latencies included.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs import LabeledGraph
+from ..matching import Budget, MatchOutcome, VF2Matcher
+from ..psi.executors import (
+    DEFAULT_RACE_QUANTUM,
+    OverheadModel,
+    RaceOutcome,
+)
+from ..psi.variants import Variant, variants_from_spec
+from ..rewriting import make_rewriting
+from .admission import AdmissionController, Ticket, TicketState
+from .cache import CachedResult, ResultCache
+from .catalog import DatasetCatalog, DatasetEntry
+from .dispatcher import Dispatcher, RaceTask
+
+__all__ = ["QueryOptions", "ServiceResult", "Service", "results_digest"]
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Per-query execution configuration.
+
+    For NFV datasets the race runs ``algorithms x rewritings``; for FTV
+    datasets verification is VF2 (the paper's FTV mode) and only
+    ``rewritings`` vary.
+    """
+
+    algorithms: tuple[str, ...] = ("GQL", "SPA")
+    rewritings: tuple[str, ...] = ("Orig", "DND")
+    max_embeddings: int = 1000
+    count_only: bool = True
+
+    def variants(self, kind: str) -> tuple[Variant, ...]:
+        """The race's variant set for a dataset kind."""
+        if kind == "ftv":
+            return tuple(Variant("VF2", r) for r in self.rewritings)
+        return variants_from_spec(self.algorithms, self.rewritings)
+
+    def signature(self, kind: str) -> tuple:
+        """Hashable cache-context component."""
+        return (
+            self.variants(kind),
+            self.max_embeddings,
+            self.count_only,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What a ticket resolves to."""
+
+    found: bool
+    killed: bool
+    steps: int
+    winner: Optional[Variant]
+    num_embeddings: int
+    per_variant_steps: tuple  # ((variant, steps), ...)
+    from_cache: bool = False
+    matching_ids: tuple = ()  # FTV decision answers
+
+    @property
+    def winner_label(self) -> str:
+        """Render-friendly winner name."""
+        if self.winner is None:
+            return "killed"
+        return self.winner.label
+
+
+def results_digest(tickets: list[Ticket]) -> str:
+    """Order-independent digest of a workload's results.
+
+    Two deterministic runs of the same workload must agree on this —
+    the acceptance check for "same winners / step totals across runs".
+    """
+    lines = sorted(
+        f"{t.tenant}/{t.query.name}:{r.winner_label}:{r.steps}:"
+        f"{int(r.found)}:{t.latency}"
+        for t in tickets
+        if isinstance((r := t.result), ServiceResult)
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
+class Service:
+    """A concurrent graph-query serving layer over the Ψ machinery."""
+
+    def __init__(
+        self,
+        catalog: Optional[DatasetCatalog] = None,
+        admission: Optional[AdmissionController] = None,
+        cache: Optional[ResultCache] = None,
+        workers: int = 4,
+        quantum: int = DEFAULT_RACE_QUANTUM,
+        overhead: OverheadModel = OverheadModel(),
+    ) -> None:
+        self.catalog = catalog or DatasetCatalog(overhead=overhead)
+        self.admission = admission or AdmissionController()
+        self.cache = cache or ResultCache()
+        self.dispatcher = Dispatcher(workers=workers, quantum=quantum)
+        self.overhead = overhead
+        self._verifier = VF2Matcher()
+        #: ticket.id -> (ticket, entry, options, cache key)
+        self._open: dict[int, tuple[Ticket, DatasetEntry, QueryOptions, Optional[tuple]]] = {}
+        #: admitted-but-not-yet-dispatched (wide race waiting for slots)
+        self._staged: list[int] = []
+        self.completed_count = 0
+        # sliding window: stats() reports the most recent completions,
+        # so a long-lived service doesn't grow (or re-sort) its whole
+        # history per stats call
+        self._latencies: deque[int] = deque(maxlen=65_536)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def load_dataset(self, name: str, scale: str = "default", **kw) -> None:
+        """Load + warm a dataset through the catalog."""
+        self.catalog.load(name, scale=scale, **kw)
+
+    @property
+    def clock(self) -> int:
+        """The service's virtual step clock."""
+        return self.dispatcher.clock
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        dataset: str,
+        query: LabeledGraph,
+        tenant: str = "public",
+        options: Optional[QueryOptions] = None,
+        budget_steps: Optional[int] = None,
+    ) -> Ticket:
+        """Submit one query; returns immediately with a :class:`Ticket`.
+
+        Cache hits resolve at submit time with zero latency; everything
+        else goes through admission and the dispatcher.
+        """
+        if budget_steps is not None and budget_steps < 1:
+            raise ValueError("budget_steps must be >= 1")
+        entry = self.catalog.get(dataset)
+        options = options or QueryOptions()
+        ticket = self.admission.issue(
+            tenant, dataset, query, self.clock, budget_steps
+        )
+        variants = options.variants(entry.kind)
+        if len(variants) > self.dispatcher.workers:
+            ticket.state = TicketState.REJECTED
+            ticket.reject_reason = (
+                f"{len(variants)} variants exceed the "
+                f"{self.dispatcher.workers}-worker pool"
+            )
+            ticket.finish_time = ticket.submit_time
+            self.admission.rejected += 1
+            return ticket
+        context = (
+            dataset,
+            entry.scale,
+            entry.kind,
+            options.signature(entry.kind),
+            ticket.budget_steps,
+        )
+        key = self.cache.key_for(query, context)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            ticket.state = TicketState.DONE
+            ticket.finish_time = ticket.submit_time
+            ticket.cache_hit = True
+            ticket.result = ServiceResult(
+                found=cached.found,
+                killed=False,
+                steps=cached.steps,
+                winner=cached.winner,
+                num_embeddings=cached.num_embeddings,
+                per_variant_steps=cached.per_variant_steps,
+                from_cache=True,
+                matching_ids=cached.matching_ids,
+            )
+            self.completed_count += 1
+            self._latencies.append(0)
+            return ticket
+        ticket = self.admission.enqueue(ticket)
+        if ticket.state is TicketState.QUEUED:
+            self._open[ticket.id] = (ticket, entry, options, key)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+
+    def _build_race(
+        self, ticket: Ticket, entry: DatasetEntry, options: QueryOptions
+    ) -> tuple[RaceTask, dict]:
+        """Engines + RaceTask for one admitted ticket."""
+        budget = Budget(max_steps=ticket.budget_steps)
+        if entry.kind == "nfv":
+            psi = entry.psi
+            assert psi is not None
+            rewritten = {
+                v: psi.rewritten(ticket.query, v.rewriting)
+                for v in options.variants("nfv")
+            }
+            engines = {
+                v: psi.matcher(v.algorithm).engine(
+                    psi.prepared(v.algorithm),
+                    rewritten[v].graph,
+                    max_embeddings=options.max_embeddings,
+                    count_only=options.count_only,
+                )
+                for v in options.variants("nfv")
+            }
+        else:
+            engines = self._ftv_engines(entry, ticket.query, options)
+        race = RaceTask(
+            engines,
+            budget=budget,
+            overhead=self.overhead,
+            quantum=self.dispatcher.quantum,
+        )
+        return race, engines
+
+    def _ftv_engines(
+        self, entry: DatasetEntry, query: LabeledGraph, options: QueryOptions
+    ) -> dict:
+        """One composite engine per rewriting, sweeping all candidates.
+
+        The paper's PsiFTV races per candidate pair; the service races
+        whole decision sweeps (filter once, verify candidates in ID
+        order) so a query is one schedulable race like any other.
+        """
+        index = entry.ftv_index
+        assert index is not None
+        candidates = index.filter(query)
+        engines = {}
+        for variant in options.variants("ftv"):
+            rq = make_rewriting(variant.rewriting).apply(
+                query, entry.stats
+            )
+            engines[variant] = self._ftv_sweep(
+                index, rq.graph, list(candidates)
+            )
+        return engines
+
+    def _ftv_sweep(self, index, query_graph, candidates):
+        """Generator engine: first-match VF2 over each candidate."""
+        matched: list[int] = []
+        for gid in candidates:
+            out = yield from self._verifier.engine(
+                index.graph_index(gid),
+                query_graph,
+                max_embeddings=1,
+                count_only=True,
+            )
+            if out.found:
+                matched.append(gid)
+        final = MatchOutcome(
+            found=bool(matched), num_embeddings=len(matched)
+        )
+        final.matching_ids = tuple(matched)
+        return final
+
+    # ------------------------------------------------------------------
+    # the tick loop
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        """Move queued tickets into the dispatcher while slots allow."""
+        while True:
+            free = self.dispatcher.slots_free()
+            if free <= 0:
+                return
+            # staged tickets (admitted, waiting for width) go first
+            if self._staged:
+                tid = self._staged[0]
+                ticket, entry, options, _ = self._open[tid]
+                width = len(options.variants(entry.kind))
+                if width > free:
+                    return  # head-of-line: wait for the pool to drain
+                self._staged.pop(0)
+            else:
+                ticket = self.admission.next_ticket()
+                if ticket is None:
+                    return
+                tid = ticket.id
+                _, entry, options, _ = self._open[tid]
+                width = len(options.variants(entry.kind))
+                if width > free:
+                    self._staged.append(tid)
+                    return
+            race, _ = self._build_race(ticket, entry, options)
+            ticket.start_time = self.clock
+            self.dispatcher.admit(tid, race)
+
+    def _priority_order(self) -> list[int]:
+        """Fair-share order over active race tokens (ticket ids).
+
+        Only dispatcher-attached races are ranked — queued tickets are
+        ordered by admission, not here.
+        """
+        ledger = self.admission.ledger
+
+        def rank(tid: int) -> tuple:
+            ticket = self._open[tid][0]
+            return (
+                ledger.virtual_time(ticket.tenant),
+                ledger.registration_index(ticket.tenant),
+                tid,
+            )
+
+        return sorted(self.dispatcher.tokens(), key=rank)
+
+    def pump(self) -> list[Ticket]:
+        """One scheduling tick; returns tickets completed this tick."""
+        self._admit()
+        if self.dispatcher.active == 0:
+            return []
+        events = self.dispatcher.tick(self._priority_order())
+        completed: list[Ticket] = []
+        for tid, work, outcome in events:
+            ticket, entry, options, key = self._open[tid]
+            self.admission.charge(ticket.tenant, work)
+            if outcome is None:
+                continue
+            self._finalize(ticket, outcome, key)
+            del self._open[tid]
+            completed.append(ticket)
+        return completed
+
+    def _finalize(
+        self, ticket: Ticket, race: RaceOutcome, key: Optional[tuple]
+    ) -> None:
+        outcome = race.outcome
+        matching = (
+            tuple(getattr(outcome, "matching_ids", ()))
+            if outcome is not None
+            else ()
+        )
+        per_variant = tuple(race.per_variant_steps.items())
+        result = ServiceResult(
+            found=race.found,
+            killed=race.killed,
+            steps=race.steps,
+            winner=race.winner,
+            num_embeddings=(
+                outcome.num_embeddings if outcome is not None else 0
+            ),
+            per_variant_steps=per_variant,
+            matching_ids=matching,
+        )
+        ticket.state = TicketState.DONE
+        ticket.finish_time = self.clock
+        ticket.result = result
+        self.admission.on_complete(ticket)
+        self.completed_count += 1
+        self._latencies.append(ticket.latency or 0)
+        if not race.killed:
+            cached = CachedResult(
+                found=result.found,
+                num_embeddings=result.num_embeddings,
+                steps=result.steps,
+                winner=result.winner,
+                per_variant_steps=per_variant,
+                matching_ids=matching,
+            )
+            self.cache.store(key, cached)
+
+    @property
+    def idle(self) -> bool:
+        """True when no queued, staged, or running work remains."""
+        return (
+            self.dispatcher.active == 0
+            and self.admission.queued() == 0
+            and not self._staged
+        )
+
+    def run_until_idle(self, max_ticks: int = 10_000_000) -> list[Ticket]:
+        """Pump until no queued or running work remains."""
+        done: list[Ticket] = []
+        for _ in range(max_ticks):
+            if self.idle:
+                return done
+            done.extend(self.pump())
+        raise RuntimeError("service did not drain within max_ticks")
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of every serving metric."""
+        from ..caching import prepare_cache
+        from ..metrics import summarize_latencies
+
+        latency = (
+            summarize_latencies(list(self._latencies)).as_dict()
+            if self._latencies
+            else None
+        )
+        return {
+            "clock_steps": self.clock,
+            "ticks": self.dispatcher.ticks,
+            "work_steps": self.dispatcher.work_steps,
+            "completed": self.completed_count,
+            "active": self.dispatcher.active,
+            "latency_steps": latency,
+            "admission": self.admission.stats(),
+            "result_cache": self.cache.as_metrics(),
+            "prepare_cache": prepare_cache.stats.as_metrics(),
+            "memory": self.catalog.memory_report(),
+        }

@@ -1,5 +1,25 @@
-"""Query workload generation (paper §3.4)."""
+"""Query workload generation (paper §3.4) + multi-tenant serving mixes."""
 
-from .queries import Query, extract_query, generate_workload
+from .queries import (
+    MixedQuery,
+    Query,
+    TenantMix,
+    default_tenant_mixes,
+    extract_query,
+    generate_tenant_stream,
+    generate_tenant_streams,
+    generate_workload,
+    permuted_instance,
+)
 
-__all__ = ["Query", "extract_query", "generate_workload"]
+__all__ = [
+    "MixedQuery",
+    "Query",
+    "TenantMix",
+    "default_tenant_mixes",
+    "extract_query",
+    "generate_tenant_stream",
+    "generate_tenant_streams",
+    "generate_workload",
+    "permuted_instance",
+]

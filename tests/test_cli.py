@@ -130,3 +130,87 @@ class TestAnalyze:
     def test_analyze_rejects_ftv(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "--dataset", "ppi"])
+
+
+class TestServe:
+    SERVE_ARGS = (
+        "--dataset", "yeast", "--scale", "tiny",
+        "--queries", "12", "--tenants", "2", "--budget", "60000",
+    )
+
+    def test_serve_summary(self, capsys):
+        code, out = run_cli(capsys, "serve", *self.SERVE_ARGS)
+        assert code == 0
+        assert "tenant0" in out and "tenant1" in out
+        assert "latency (steps)" in out
+        assert "result cache" in out
+        assert "results digest" in out
+
+    def test_serve_deterministic(self, capsys):
+        digests = set()
+        for _ in range(2):
+            _, out = run_cli(capsys, "serve", *self.SERVE_ARGS)
+            digests.add(
+                [ln for ln in out.splitlines() if "digest" in ln][-1]
+            )
+        assert len(digests) == 1
+
+    def test_serve_verbose(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", *self.SERVE_ARGS, "--verbose"
+        )
+        assert code == 0
+        assert " in " in out  # per-query lines present
+
+    def test_bench_serve_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_service.json"
+        code, out = run_cli(
+            capsys, "bench-serve", *self.SERVE_ARGS,
+            "--out", str(out_path),
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["bench"] == "service"
+        assert payload["throughput"]["queries"] > 0
+        for pct in ("p50", "p95", "p99"):
+            assert pct in payload["latency_steps"]
+        assert payload["result_cache"]["lookups"] > 0
+        assert payload["config"]["dataset"] == "yeast"
+
+    def test_serve_validates_tenant_count(self, capsys):
+        with pytest.raises(SystemExit, match="tenants"):
+            main([
+                "serve", "--dataset", "yeast", "--scale", "tiny",
+                "--queries", "4", "--tenants", "0",
+            ])
+
+    def test_serve_clamps_tenants_to_queries(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "yeast", "--scale", "tiny",
+            "--queries", "2", "--tenants", "5", "--budget", "60000",
+        )
+        assert code == 0
+        assert "2 queries" in out
+        assert "tenant2" not in out
+
+    def test_serve_validates_worker_pool(self, capsys):
+        with pytest.raises(SystemExit, match="workers"):
+            main([
+                "serve", "--dataset", "yeast", "--scale", "tiny",
+                "--queries", "4", "--workers", "0",
+            ])
+        # a race wider than the pool is a config error, not 100% rejects
+        with pytest.raises(SystemExit, match="variants wide"):
+            main([
+                "serve", "--dataset", "yeast", "--scale", "tiny",
+                "--queries", "4", "--workers", "2",
+            ])
+
+    def test_serve_validates_concurrency(self, capsys):
+        with pytest.raises(SystemExit, match="concurrency"):
+            main([
+                "serve", "--dataset", "yeast", "--scale", "tiny",
+                "--queries", "4", "--concurrency", "0",
+            ])

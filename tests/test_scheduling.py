@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.scheduling import TaskResult, first_match_schedule
+from repro.scheduling import (
+    FairShareLedger,
+    ScheduleOutcome,
+    TaskResult,
+    first_match_schedule,
+)
 
 
 def fixed(steps, found=False, killed=False):
@@ -100,3 +105,150 @@ class TestValidation:
         assert out.time == 0
         assert not out.found
         assert not out.killed
+
+
+class TestRaceEquivalence:
+    """``workers >= len(tasks)`` must behave as a Ψ race: every task
+    starts at time 0 and the earliest match finish wins."""
+
+    def test_time_is_min_matching_task(self):
+        costs = [50, 20, 35]
+        tasks = [fixed(c, found=True) for c in costs]
+        for workers in (3, 4, 10):
+            out = first_match_schedule(tasks, workers=workers)
+            assert out.found
+            assert out.time == min(costs)
+
+    def test_no_match_time_is_max(self):
+        costs = [50, 20, 35]
+        tasks = [fixed(c) for c in costs]
+        for workers in (3, 7):
+            out = first_match_schedule(tasks, workers=workers)
+            assert not out.found
+            assert out.time == max(costs)
+
+    def test_extra_workers_change_nothing(self):
+        tasks = [fixed(40), fixed(25, found=True), fixed(60, found=True)]
+        base = first_match_schedule(tasks, workers=3)
+        more = first_match_schedule(tasks, workers=30)
+        assert (base.time, base.found, base.killed) == (
+            more.time, more.found, more.killed
+        )
+
+    def test_all_tasks_executed_when_racing(self):
+        # with one worker a match stops later tasks from starting;
+        # with enough workers they all start at time 0 and execute
+        tasks = [fixed(5, found=True), fixed(100), fixed(100)]
+        out = first_match_schedule(tasks, workers=3)
+        assert out.executed == 3
+
+
+class TestBudgetEdges:
+    def test_zero_allowance_task_never_starts(self):
+        # budget equal to the first task's cost: the second task's
+        # start time equals the cap, so it must not execute at all
+        calls = []
+
+        def probe(allowance):
+            calls.append(allowance)
+            return TaskResult(steps=1, found=False)
+
+        out = first_match_schedule(
+            [fixed(100), probe], workers=1, budget_steps=100
+        )
+        assert calls == []
+        assert out.executed == 1
+        assert not out.killed  # first task finished exactly at the cap
+
+    def test_exhausted_budget_kills_mid_task(self):
+        out = first_match_schedule(
+            [fixed(70), fixed(70)], workers=1, budget_steps=100
+        )
+        assert out.killed
+        assert out.time == 100
+        # the second task was truncated to its 30-step allowance
+        assert out.task_results[1].steps == 30
+        assert out.task_results[1].killed
+
+    def test_match_after_budget_does_not_count(self):
+        out = first_match_schedule(
+            [fixed(100, found=True)], workers=1, budget_steps=60
+        )
+        assert not out.found
+        assert out.killed
+        assert out.time == 60
+
+    def test_budget_one(self):
+        out = first_match_schedule(
+            [fixed(1, found=True)], workers=1, budget_steps=1
+        )
+        assert out.found
+        assert out.time == 1
+
+
+class TestTieBreaking:
+    def test_equal_finish_prefers_declaration_order(self):
+        # both find at t=10 on different workers; winner time is 10
+        # regardless, and the outcome is stable across repeats
+        tasks = [fixed(10, found=True), fixed(10, found=True)]
+        outs = [
+            first_match_schedule(tasks, workers=2) for _ in range(3)
+        ]
+        assert all(o.time == 10 and o.found for o in outs)
+        assert all(o.executed == outs[0].executed for o in outs)
+
+    def test_worker_assignment_deterministic(self):
+        # equal free times: lowest worker id gets the task, so the
+        # makespan is reproducible
+        tasks = [fixed(10), fixed(10), fixed(10)]
+        times = {
+            first_match_schedule(tasks, workers=2).time
+            for _ in range(3)
+        }
+        assert times == {20}
+
+
+class TestFairShareLedger:
+    def test_pick_least_charged(self):
+        ledger = FairShareLedger()
+        ledger.charge("a", 100)
+        ledger.charge("b", 10)
+        assert ledger.pick(["a", "b"]) == "b"
+
+    def test_weights_divide_charges(self):
+        ledger = FairShareLedger()
+        ledger.register("heavy", weight=10.0)
+        ledger.register("light", weight=1.0)
+        ledger.charge("heavy", 500)
+        ledger.charge("light", 100)
+        # 500/10=50 < 100/1: heavy is owed service
+        assert ledger.pick(["light", "heavy"]) == "heavy"
+
+    def test_tie_breaks_by_registration(self):
+        ledger = FairShareLedger()
+        ledger.register("z")
+        ledger.register("a")
+        assert ledger.pick(["a", "z"]) == "z"
+
+    def test_charge_accepts_cost_algebra_types(self):
+        ledger = FairShareLedger()
+        ledger.charge("a", TaskResult(steps=7, found=False))
+        out = first_match_schedule([fixed(5)], workers=1)
+        assert isinstance(out, ScheduleOutcome)
+        ledger.charge("a", out)
+        assert ledger.charged("a") == 12
+
+    def test_validation(self):
+        ledger = FairShareLedger()
+        with pytest.raises(ValueError):
+            ledger.register("a", weight=0)
+        with pytest.raises(ValueError):
+            ledger.charge("a", -1)
+
+    def test_empty_pick(self):
+        assert FairShareLedger().pick([]) is None
+
+    def test_snapshot(self):
+        ledger = FairShareLedger()
+        ledger.charge("a", 3)
+        assert ledger.snapshot() == {"a": 3}

@@ -1,0 +1,111 @@
+"""Tests for canonical query forms (the result-cache key)."""
+
+import random
+
+import pytest
+
+from repro.graphs import LabeledGraph, gnm_graph, uniform_labels
+from repro.graphs.isomorphism import are_isomorphic
+from repro.service.canon import canonical_query_key
+from repro.workload import extract_query, permuted_instance
+
+
+def _random_graph(seed, n=10, m=18, labels=("A", "B", "C")):
+    rng = random.Random(seed)
+    return gnm_graph(n, m, uniform_labels(n, list(labels), rng), rng)
+
+
+class TestInvariance:
+    def test_identity(self):
+        g = _random_graph(1)
+        assert canonical_query_key(g) == canonical_query_key(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_permutation_invariance(self, seed):
+        g = _random_graph(seed)
+        rng = random.Random(seed + 100)
+        twin = permuted_instance(g, rng)
+        assert are_isomorphic(g, twin)
+        assert canonical_query_key(g) == canonical_query_key(twin)
+
+    def test_many_permutations_one_key(self):
+        g = _random_graph(3, n=8, m=12)
+        rng = random.Random(9)
+        keys = {
+            canonical_query_key(permuted_instance(g, rng))
+            for _ in range(12)
+        }
+        assert len(keys) == 1
+
+    def test_workload_queries_canonicalize(self, small_store):
+        # the actual query shapes the service will see
+        for seed in range(6):
+            q = extract_query(small_store, 8, random.Random(seed))
+            rng = random.Random(seed + 50)
+            twin = permuted_instance(q, rng)
+            key = canonical_query_key(q)
+            assert key is not None
+            assert key == canonical_query_key(twin)
+
+
+class TestDiscrimination:
+    def test_different_structure(self):
+        path = LabeledGraph(3, ["A", "A", "A"])
+        path.add_edge(0, 1)
+        path.add_edge(1, 2)
+        tri = LabeledGraph(3, ["A", "A", "A"])
+        tri.add_edge(0, 1)
+        tri.add_edge(1, 2)
+        tri.add_edge(0, 2)
+        assert canonical_query_key(path) != canonical_query_key(tri)
+
+    def test_label_aware(self):
+        g1 = LabeledGraph(2, ["A", "B"])
+        g1.add_edge(0, 1)
+        g2 = LabeledGraph(2, ["A", "A"])
+        g2.add_edge(0, 1)
+        assert canonical_query_key(g1) != canonical_query_key(g2)
+
+    def test_label_placement_aware(self):
+        # same label multiset, different placement on a path
+        g1 = LabeledGraph(3, ["A", "B", "A"])
+        g1.add_edge(0, 1)
+        g1.add_edge(1, 2)
+        g2 = LabeledGraph(3, ["A", "A", "B"])
+        g2.add_edge(0, 1)
+        g2.add_edge(1, 2)
+        assert canonical_query_key(g1) != canonical_query_key(g2)
+
+    def test_non_isomorphic_same_invariants(self):
+        # 6-cycle vs two triangles: same degree/label statistics
+        cycle = LabeledGraph(6, ["A"] * 6)
+        for i in range(6):
+            cycle.add_edge(i, (i + 1) % 6)
+        triangles = LabeledGraph(6, ["A"] * 6)
+        for base in (0, 3):
+            triangles.add_edge(base, base + 1)
+            triangles.add_edge(base + 1, base + 2)
+            triangles.add_edge(base, base + 2)
+        assert not are_isomorphic(cycle, triangles)
+        k1 = canonical_query_key(cycle)
+        k2 = canonical_query_key(triangles)
+        assert k1 is not None and k2 is not None
+        assert k1 != k2
+
+
+class TestGuards:
+    def test_empty_graph(self):
+        g = LabeledGraph(0, [])
+        assert canonical_query_key(g) is not None
+
+    def test_singleton(self):
+        g = LabeledGraph(1, ["A"])
+        assert canonical_query_key(g) is not None
+
+    def test_branch_budget_returns_none(self):
+        # an unlabelled cycle forces branching; budget 0 must bail out
+        cycle = LabeledGraph(8, ["A"] * 8)
+        for i in range(8):
+            cycle.add_edge(i, (i + 1) % 8)
+        assert canonical_query_key(cycle, max_branches=0) is None
+        assert canonical_query_key(cycle) is not None

@@ -97,3 +97,119 @@ class TestGenerateWorkload:
         queries = generate_workload([g], 8, 4, seed=13)
         names = {q.name for q in queries}
         assert len(names) == 8
+
+
+class TestTenantMixes:
+    def _graphs(self):
+        return [_store(seed=3, n=40, m=90)]
+
+    def _mix(self, **kw):
+        from repro.workload import TenantMix
+
+        defaults = dict(
+            tenant="t0", sizes=(4, 6), count=10, repeat_fraction=0.4
+        )
+        defaults.update(kw)
+        return TenantMix(**defaults)
+
+    def test_stream_deterministic(self):
+        from repro.workload import generate_tenant_stream
+
+        graphs = self._graphs()
+        a = generate_tenant_stream(graphs, self._mix(), seed=5)
+        b = generate_tenant_stream(graphs, self._mix(), seed=5)
+        assert len(a) == len(b) == 10
+        for x, y in zip(a, b):
+            assert x.tenant == y.tenant
+            assert x.is_repeat == y.is_repeat
+            assert x.query.graph.same_labeled_structure(y.query.graph)
+
+    def test_sizes_stratified(self):
+        from repro.workload import generate_tenant_stream
+
+        stream = generate_tenant_stream(
+            self._graphs(), self._mix(repeat_fraction=0.0), seed=7
+        )
+        sizes = {mq.query.graph.size for mq in stream}
+        assert sizes == {4, 6}
+
+    def test_repeats_are_isomorphic_copies(self):
+        from repro.graphs.isomorphism import are_isomorphic
+        from repro.workload import generate_tenant_stream
+
+        stream = generate_tenant_stream(
+            self._graphs(), self._mix(count=20), seed=9
+        )
+        repeats = [mq for mq in stream if mq.is_repeat]
+        assert repeats  # 40% repeat rate over 20 queries
+        for rep in repeats:
+            twins = [
+                mq
+                for mq in stream
+                if not mq.is_repeat
+                and mq.query.graph.size == rep.query.graph.size
+                and are_isomorphic(mq.query.graph, rep.query.graph)
+            ]
+            assert twins, f"repeat {rep.query.name} has no original"
+
+    def test_interleaved_streams_round_robin(self):
+        from repro.workload import (
+            TenantMix,
+            generate_tenant_streams,
+        )
+
+        graphs = self._graphs()
+        mixes = [
+            TenantMix(tenant="a", sizes=(4,), count=3),
+            TenantMix(tenant="b", sizes=(4,), count=2),
+        ]
+        merged = generate_tenant_streams(graphs, mixes, seed=1)
+        assert [mq.tenant for mq in merged] == ["a", "b", "a", "b", "a"]
+
+    def test_default_mixes_heterogeneous(self):
+        from repro.workload import default_tenant_mixes
+
+        mixes = default_tenant_mixes(3, 5, sizes=(4, 6, 8))
+        assert len(mixes) == 3
+        assert {m.tenant for m in mixes} == {
+            "tenant0", "tenant1", "tenant2"
+        }
+        # staggered strata: tenants start at different sizes
+        assert mixes[0].sizes[0] != mixes[1].sizes[0]
+
+    def test_mix_validation(self):
+        from repro.workload import TenantMix
+
+        with pytest.raises(GraphError):
+            TenantMix(tenant="t", sizes=(), count=1)
+        with pytest.raises(GraphError):
+            TenantMix(tenant="t", sizes=(4,), count=0)
+        with pytest.raises(GraphError):
+            TenantMix(
+                tenant="t", sizes=(4,), count=1, repeat_fraction=1.0
+            )
+        with pytest.raises(GraphError):
+            TenantMix(tenant="t", sizes=(4,), count=1, weight=0.0)
+
+    def test_permuted_instance_isomorphic(self):
+        import random as _random
+
+        from repro.graphs.isomorphism import are_isomorphic
+        from repro.workload import extract_query, permuted_instance
+
+        g = self._graphs()[0]
+        q = extract_query(g, 6, _random.Random(3))
+        twin = permuted_instance(q, _random.Random(4))
+        assert are_isomorphic(q, twin)
+
+    def test_duplicate_sizes_supported(self):
+        from repro.workload import generate_tenant_stream
+
+        stream = generate_tenant_stream(
+            self._graphs(),
+            self._mix(sizes=(4, 4, 6), count=9, repeat_fraction=0.0),
+            seed=2,
+        )
+        assert len(stream) == 9
+        sizes = [mq.query.graph.size for mq in stream]
+        assert sizes.count(4) == 6 and sizes.count(6) == 3
