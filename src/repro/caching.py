@@ -181,6 +181,26 @@ class PrepareCache:
         """
         return self._entries
 
+    def evict_graph(self, graph: LabeledGraph) -> int:
+        """Drop one graph's memoized indexes, counting the evictions.
+
+        The catalog's watermark eviction uses this: unloading a dataset
+        through the garbage collector would drop the entries silently,
+        while an explicit evict shows up in the cache-efficacy counters
+        operators watch.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        indexes = graph._index_memo
+        if indexes:
+            ns = self._ns
+            for full_key in [k for k in indexes if k[0] is ns]:
+                del indexes[full_key]
+                dropped += 1
+        self.stats.evictions += dropped
+        self._entries = max(0, self._entries - dropped)
+        self._graphs.discard(graph)
+        return dropped
+
     def clear(self) -> None:
         """Drop every index this cache memoized (testing / memory hook).
 

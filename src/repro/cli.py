@@ -378,6 +378,8 @@ def _build_service(args: argparse.Namespace):
     service = Service(
         workers=args.workers,
         admission=AdmissionController(default_policy=policy),
+        plan_seeding=args.plan_seeding,
+        coalesce=not args.no_coalesce,
     )
     service.load_dataset(
         args.dataset,
@@ -509,6 +511,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             "concurrency": args.concurrency,
             "budget": args.budget,
             "seed": args.seed,
+            "plan_seeding": args.plan_seeding,
+            "coalesce": not args.no_coalesce,
         },
     )
     payload = report.as_json()
@@ -655,6 +659,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of repeated (isomorphic) queries")
         p.add_argument("--budget", type=int, default=200_000)
         p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--plan-seeding", action="store_true",
+                       help="seed near-miss races from the plan cache "
+                            "(cached winner + one challenger)")
+        p.add_argument("--no-coalesce", action="store_true",
+                       help="disable in-flight request coalescing")
 
     p = sub.add_parser(
         "serve",

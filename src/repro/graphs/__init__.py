@@ -1,6 +1,6 @@
 """Graph substrate: labeled graphs, IO, and random generators."""
 
-from .core import GraphError, LabeledGraph
+from .core import GraphError, LabeledGraph, bits_ascending
 from .generators import (
     connect_components,
     disjoint_union,

@@ -25,7 +25,20 @@ from typing import Optional
 Label = Hashable
 Edge = tuple[int, int]
 
-__all__ = ["LabeledGraph", "GraphError"]
+__all__ = ["LabeledGraph", "GraphError", "bits_ascending"]
+
+
+def bits_ascending(mask: int) -> Iterator[int]:
+    """Set-bit positions of ``mask`` in ascending order.
+
+    The shared decoding loop for every bitmask in the repo — adjacency
+    masks, matcher candidate bitsets, and the FTV posting bitsets all
+    speak "bit ``i`` means vertex/graph ``i``".
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class GraphError(ValueError):

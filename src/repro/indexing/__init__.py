@@ -6,7 +6,13 @@ trie machinery.
 """
 
 from .base import FTVIndex, FTVQueryResult, VerificationReport
-from .features import PathCensus, canonical_sequence, label_path_census
+from .features import (
+    LabelInterner,
+    PathCensus,
+    canonical_sequence,
+    coded_path_census,
+    label_path_census,
+)
 from .ggsx import GGSXIndex
 from .grapes import GrapesIndex
 from .trie import PathTrie, Posting, SuffixTrie
@@ -15,8 +21,10 @@ __all__ = [
     "FTVIndex",
     "FTVQueryResult",
     "VerificationReport",
+    "LabelInterner",
     "PathCensus",
     "canonical_sequence",
+    "coded_path_census",
     "label_path_census",
     "GGSXIndex",
     "GrapesIndex",

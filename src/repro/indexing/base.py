@@ -12,15 +12,28 @@ steps.
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..graphs import LabeledGraph
+from ..graphs import LabeledGraph, bits_ascending
 from ..matching import Budget, GraphIndex, MatchOutcome, VF2Matcher
-from .features import PathCensus, label_path_census
+from .features import (
+    LabelInterner,
+    PathCensus,
+    coded_path_census,
+    label_path_census,
+)
 
 __all__ = ["FTVIndex", "VerificationReport", "FTVQueryResult"]
+
+#: LRU capacity of the per-index canonical-form census cache.
+DEFAULT_CENSUS_CACHE_CAP = 512
+
+#: sentinel distinguishing "shape never seen" from "stash promoted"
+_NEVER_SEEN = object()
 
 
 @dataclass
@@ -91,6 +104,22 @@ class FTVIndex(ABC):
         self.max_path_length = max_path_length
         self._verifier = VF2Matcher()
         self._graph_indexes: dict[int, GraphIndex] = {}
+        #: shared label interner: the trie and every census speak codes
+        self.interner = LabelInterner(g.labels for g in graphs)
+        #: namespace token for this index's query-census memo entries
+        #: in the process-wide PrepareCache (unique per index, so two
+        #: indexes over the same graphs never cross-hit)
+        self._census_token = object()
+        #: canonical form -> coded census, shared by isomorphic repeats
+        self._canon_census: "OrderedDict[tuple, PathCensus]" = OrderedDict()
+        #: cheap isomorphism-invariant shapes seen so far: the gate
+        #: that keeps canonicalisation off the cold path (see
+        #: :meth:`coded_query_census`)
+        self._census_shapes: "OrderedDict[tuple, bool]" = OrderedDict()
+        # deferred import: repro.caching imports this module at load
+        from ..caching import CacheStats
+
+        self.census_stats = CacheStats()
         self._build()
 
     # ------------------------------------------------------------------
@@ -106,10 +135,197 @@ class FTVIndex(ABC):
     # ------------------------------------------------------------------
 
     def query_census(self, query: LabeledGraph) -> PathCensus:
-        """The query's own path features (the "query index")."""
+        """The query's label-space path features (reference census).
+
+        This is the seed implementation, kept as the equivalence
+        baseline; the serving path uses :meth:`coded_query_census`.
+        """
         return label_path_census(
             query, self.max_path_length, with_locations=False
         )
+
+    def coded_query_census(self, query: LabeledGraph) -> PathCensus:
+        """The query's interned-int census, memoized two ways.
+
+        * **Per instance** — through :data:`repro.caching.prepare_cache`
+          (the graph-side memo), so the census survives across
+          ``filter`` and per-candidate ``relevant_components`` calls on
+          the same query object;
+        * **per isomorphism class** — an LRU keyed by the canonical
+          form from :mod:`repro.service.canon`, so a permuted re-issue
+          of a motif skips the path enumeration entirely.  Sound
+          because the census counts are isomorphism-invariant (the
+          location side is never populated for queries), and the fresh
+          negative codes of unknown labels never reach the trie, so
+          their identity across instances is irrelevant.
+
+        Canonicalisation is *gated* behind a cheap invariant shape
+        fingerprint: the first sighting of a shape computes its census
+        directly (a unique query never pays the canonical form — on
+        small queries canonicalisation costs as much as the census it
+        would save); once a shape repeats, its class goes through the
+        canonical-form cache and every further isomorphic instance
+        reuses the stored census.
+        """
+        from ..caching import prepare_cache  # deferred: caching imports us
+
+        return prepare_cache.get(
+            query,
+            ("ftv-census", self._census_token, self.max_path_length),
+            lambda: self._canon_shared_census(query),
+        )
+
+    def _census_fingerprint(self, query: LabeledGraph) -> tuple:
+        """Cheap isomorphism-invariant shape key (collisions allowed).
+
+        Twins must collide (or sharing is merely missed); unrelated
+        collisions only cost one canonicalisation — soundness always
+        comes from the exact canonical form.
+        """
+        codes = self.interner.encode_vertices(query.labels)
+        return (
+            query.order,
+            query.size,
+            tuple(sorted(codes)),
+            tuple(sorted(query.degree(v) for v in query.vertices())),
+        )
+
+    def _canon_shared_census(self, query: LabeledGraph) -> PathCensus:
+        fingerprint = self._census_fingerprint(query)
+        shapes = self._census_shapes
+        stash = shapes.get(fingerprint, _NEVER_SEEN)
+        if stash is _NEVER_SEEN:
+            # first sighting of this shape: census directly, stash it
+            # (weakly — never pin a caller-owned query graph) so the
+            # class promotes to canonical keying on a repeat
+            self.census_stats.misses += 1
+            codes = self.interner.encode_vertices(query.labels)
+            census = coded_path_census(query, self.max_path_length, codes)
+            shapes[fingerprint] = (weakref.ref(query), census)
+            if len(shapes) > 4 * DEFAULT_CENSUS_CACHE_CAP:
+                shapes.popitem(last=False)
+            return census
+        shapes.move_to_end(fingerprint)
+
+        from ..service.canon import canonical_query_key  # deferred
+
+        if stash is not None:
+            # the shape just repeated: file the stashed first-instance
+            # census under its canonical form, then drop the stash.
+            # Promotion witness: ``add_edge`` is the only graph
+            # mutator and strictly grows ``size``, so an order/size
+            # match proves the stashed census still describes the
+            # graph we are about to canonicalise; a dead weakref or a
+            # mutated graph simply forfeits the promotion (the current
+            # instance's census is stored under its own key below).
+            first_ref, first_census = stash
+            shapes[fingerprint] = None
+            first_query = first_ref()
+            if (
+                first_query is not None
+                and first_query.order == fingerprint[0]
+                and first_query.size == fingerprint[1]
+            ):
+                first_canon = canonical_query_key(first_query)
+                if first_canon is not None:
+                    self._store_canon_census(first_canon, first_census)
+        canon = canonical_query_key(query)
+        if canon is not None:
+            hit = self._canon_census.get(canon)
+            if hit is not None:
+                self._canon_census.move_to_end(canon)
+                self.census_stats.hits += 1
+                return hit
+        self.census_stats.misses += 1
+        codes = self.interner.encode_vertices(query.labels)
+        census = coded_path_census(query, self.max_path_length, codes)
+        if canon is not None:
+            self._store_canon_census(canon, census)
+        return census
+
+    def _store_canon_census(self, canon: tuple, census: PathCensus) -> None:
+        self._canon_census[canon] = census
+        self._canon_census.move_to_end(canon)
+        if len(self._canon_census) > DEFAULT_CENSUS_CACHE_CAP:
+            self._canon_census.popitem(last=False)
+            self.census_stats.evictions += 1
+
+    def _bitset_filter(self, query: LabeledGraph) -> list[int]:
+        """Shared filter fast path: a fold of bitwise ANDs.
+
+        Each query feature contributes one threshold mask (graphs
+        holding the feature often enough); masks are intersected
+        rarest-first (ascending popcount) so the fold collapses to zero
+        as early as possible.  Intersection is commutative, so the
+        surviving set — and the ascending-bit extraction below — is
+        identical to the reference set-based filter for every probe
+        order, and always sorted and duplicate-free.
+        """
+        census = self.coded_query_census(query)
+        cached = census.candidates
+        if cached is not None:
+            return list(cached)
+        census.candidates = out = self._fold_masks(census.counts)
+        return list(out)
+
+    def _fold_masks(self, counts: dict) -> list[int]:
+        if not counts:
+            return []
+        trie_mask_ge = self.trie.mask_ge
+        masks = []
+        for seq, needed in counts.items():
+            mask = trie_mask_ge(seq, needed)
+            if not mask:
+                return []
+            masks.append(mask)
+        masks.sort(key=int.bit_count)
+        alive = masks[0]
+        for mask in masks[1:]:
+            alive &= mask
+            if not alive:
+                return []
+        return list(bits_ascending(alive))
+
+    def filter_reference(self, query: LabeledGraph) -> list[int]:
+        """The seed filter: label census + posting-dict set algebra.
+
+        Kept verbatim (modulo the label->code translation the int-keyed
+        trie requires) as the equivalence baseline and the filter
+        benchmark's pre-fast-path cost model.
+        """
+        census = self.query_census(query)
+        alive: Optional[set[int]] = None
+        for seq, needed in census.counts.items():
+            coded = self.interner.encode_sequence(seq)
+            postings = (
+                self.trie.lookup(coded) if coded is not None else {}
+            )
+            ok = {
+                gid for gid, p in postings.items() if p.count >= needed
+            }
+            alive = ok if alive is None else (alive & ok)
+            if not alive:
+                return []
+        return sorted(alive) if alive else []
+
+    def warm(self) -> dict:
+        """Eagerly build the trie's threshold masks (catalog warmup).
+
+        Returns size statistics so operators can see what keeping the
+        posting bitsets warm costs.  Idempotent; purely a warm-start —
+        lazy sealing on first probe yields identical masks.
+        """
+        return {
+            "sealed_nodes": self.trie.seal(),
+            "trie_nodes": self.trie.node_count,
+            "labels": len(self.interner),
+        }
+
+    def census_cache_metrics(self) -> dict:
+        """Counter snapshot of the canonical-form census cache."""
+        out = self.census_stats.as_metrics()
+        out["entries"] = len(self._canon_census)
+        return out
 
     @abstractmethod
     def filter(self, query: LabeledGraph) -> list[int]:

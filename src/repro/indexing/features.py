@@ -10,19 +10,37 @@ manner" (§3.1.1).  This module provides the shared census machinery:
   of vertices touched by each feature — the *location information* that
   lets Grapes verify on small connected components instead of whole
   graphs.
+* :func:`coded_path_census` is the same census in **interned-int
+  space**: labels are first mapped to dense codes by a shared
+  :class:`LabelInterner`, so the census keys are small-int tuples
+  (cheap to hash, compare, and reverse) instead of arbitrary label
+  tuples.  This is the filter fast path's census; the label-space
+  census remains as the reference implementation the equivalence suite
+  checks against.
 
 A label sequence and its reverse denote the same undirected feature, so
 sequences are canonicalised to the lexicographically smaller direction.
-Every undirected path is discovered once per direction, so occurrence
-counts are consistently doubled on both the index side and the query
-side, keeping the count-based pruning sound.
+Both censuses canonicalise in their own key space; the *classes*
+(a sequence together with its reverse) are identical either way, which
+is all the count/lookup pruning relies on.  Every undirected path is
+discovered once per direction, so occurrence counts are consistently
+doubled on both the index side and the query side, keeping the
+count-based pruning sound.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
+
 from ..graphs import LabeledGraph
 
-__all__ = ["canonical_sequence", "label_path_census", "PathCensus"]
+__all__ = [
+    "canonical_sequence",
+    "label_path_census",
+    "coded_path_census",
+    "PathCensus",
+    "LabelInterner",
+]
 
 LabelSeq = tuple
 
@@ -51,9 +69,22 @@ class PathCensus:
     locations:
         Canonical label sequence -> frozenset of vertices appearing in
         any occurrence (only populated when ``with_locations``).
+    candidates:
+        Memoized filter output against one index's trie (set by
+        :meth:`repro.indexing.base.FTVIndex._bitset_filter`).  Sound to
+        cache here because query censuses live in exactly one index's
+        census cache and FTV tries are immutable after ``_build`` — and
+        the candidate set, like the census, is an isomorphism
+        invariant, so it transfers to every instance sharing this
+        census.
+    location_unions:
+        Memoized per-stored-graph unions of the query features'
+        location sets (set by
+        :meth:`repro.indexing.grapes.GrapesIndex.feature_locations`) —
+        isomorphism-invariant for the same reason as ``candidates``.
     """
 
-    __slots__ = ("counts", "locations")
+    __slots__ = ("counts", "locations", "candidates", "location_unions")
 
     def __init__(
         self,
@@ -62,6 +93,8 @@ class PathCensus:
     ) -> None:
         self.counts = counts
         self.locations = locations
+        self.candidates: list[int] | None = None
+        self.location_unions: dict[int, frozenset[int]] | None = None
 
     def features(self) -> tuple[LabelSeq, ...]:
         """All canonical label sequences, deterministic order."""
@@ -107,6 +140,136 @@ def label_path_census(
                     stack.append(
                         (path + (w,), labels + (graph.label(w),))
                     )
+    return PathCensus(
+        counts,
+        {k: frozenset(v) for k, v in locs.items()},
+    )
+
+
+class LabelInterner:
+    """Dense int codes for the labels of a stored-graph collection.
+
+    Codes are assigned in the labels' **natural sort order** (falling
+    back to ``repr`` order for label sets that are not mutually
+    comparable), so the assignment is deterministic, independent of
+    graph order and hash seeds — and, crucially, *order-preserving*:
+    for the homogeneous label sets every dataset uses, comparing code
+    tuples picks the same canonical path direction
+    :func:`canonical_sequence` picks on the labels themselves.  The
+    suffix-trie build (GGSX) inserts the suffixes of the canonical
+    representative, so this is what keeps coded candidate sets
+    bit-for-bit equal to the label-space seed.  Query labels absent
+    from the collection are mapped to *fresh negative codes*: negative
+    codes can never collide with an indexed feature, so a query
+    feature touching an unknown label misses the trie exactly like its
+    label-space twin would — no special-casing in the filter.
+    """
+
+    __slots__ = ("code_of",)
+
+    def __init__(self, label_sets: Iterable[Iterable]) -> None:
+        labels = set()
+        for ls in label_sets:
+            labels.update(ls)
+        try:
+            ordered = sorted(labels)
+        except TypeError:  # mixed unsortable labels: repr fallback
+            ordered = sorted(labels, key=repr)
+        self.code_of = {
+            lab: code for code, lab in enumerate(ordered)
+        }
+
+    def __len__(self) -> int:
+        return len(self.code_of)
+
+    def encode_vertices(self, labels: Sequence) -> tuple[int, ...]:
+        """Per-vertex codes; unknown labels get fresh negative codes."""
+        code_of = self.code_of
+        fresh: dict = {}
+        out = []
+        for lab in labels:
+            code = code_of.get(lab)
+            if code is None:
+                code = fresh.get(lab)
+                if code is None:
+                    code = -1 - len(fresh)
+                    fresh[lab] = code
+            out.append(code)
+        return tuple(out)
+
+    def encode_sequence(self, seq: LabelSeq) -> LabelSeq | None:
+        """Canonical coded form of a label sequence.
+
+        ``None`` when any label is unknown to the collection (such a
+        feature cannot be indexed).  Used by the reference filter to
+        probe the int-keyed trie from a label-space census.
+        """
+        code_of = self.code_of
+        coded = []
+        for lab in seq:
+            code = code_of.get(lab)
+            if code is None:
+                return None
+            coded.append(code)
+        return canonical_sequence(tuple(coded))
+
+
+def coded_path_census(
+    graph: LabeledGraph,
+    max_length: int,
+    codes: Sequence[int],
+    with_locations: bool = False,
+) -> PathCensus:
+    """The path census of :func:`label_path_census` in interned space.
+
+    ``codes`` is the per-vertex label-code sequence (see
+    :class:`LabelInterner`).  The enumeration order and the doubled
+    occurrence counts are identical to the label-space census; only the
+    key space changes, so the feature *classes* — and therefore every
+    count/lookup pruning decision — match the reference bit for bit.
+    """
+    if max_length < 0:
+        raise ValueError("max_length must be >= 0")
+    counts: dict[LabelSeq, int] = {}
+    locs: dict[LabelSeq, set[int]] = {}
+    adjacency = graph.adjacency()
+    get = counts.get
+    for start in range(graph.order):
+        # the single-vertex path, counted once
+        key0 = (codes[start],)
+        counts[key0] = get(key0, 0) + 1
+        if with_locations:
+            seen = locs.get(key0)
+            if seen is None:
+                seen = locs[key0] = set()
+            seen.add(start)
+        if max_length == 0:
+            continue
+        stack: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
+            ((start,), (codes[start],))
+        ]
+        while stack:
+            path, labels = stack.pop()
+            tail = path[-1]
+            # every simple path is walked from both endpoints; count
+            # the pair of directed discoveries once, from the lower
+            # endpoint, halving the dict and canonicalisation work
+            if path[0] < tail:
+                rev = labels[::-1]
+                key = labels if labels <= rev else rev
+                counts[key] = get(key, 0) + 2
+                if with_locations:
+                    seen = locs.get(key)
+                    if seen is None:
+                        seen = locs[key] = set()
+                    seen.update(path)
+            if len(path) - 1 == max_length:
+                continue
+            # paths are short (<= max_length + 1 vertices): tuple
+            # membership beats building a set per pop
+            for w in adjacency[tail]:
+                if w not in path:
+                    stack.append((path + (w,), labels + (codes[w],)))
     return PathCensus(
         counts,
         {k: frozenset(v) for k, v in locs.items()},

@@ -19,7 +19,7 @@ from typing import Optional
 from ..graphs import LabeledGraph
 from ..matching import Budget
 from .base import FTVIndex, VerificationReport
-from .features import label_path_census
+from .features import coded_path_census
 from .trie import SuffixTrie
 
 __all__ = ["GGSXIndex"]
@@ -33,8 +33,10 @@ class GGSXIndex(FTVIndex):
     def _build(self) -> None:
         self.trie = SuffixTrie()
         for gid, graph in enumerate(self.graphs):
-            census = label_path_census(
-                graph, self.max_path_length, with_locations=False
+            census = coded_path_census(
+                graph,
+                self.max_path_length,
+                self.interner.encode_vertices(graph.labels),
             )
             for seq, count in census.counts.items():
                 self.trie.insert(seq, gid, count)
@@ -46,19 +48,10 @@ class GGSXIndex(FTVIndex):
         feature inserted as a suffix of several longer paths accumulates
         all their counts), which keeps the filter sound — it can only
         under-prune relative to Grapes, consistent with GGSX forming
-        larger candidate sets.
+        larger candidate sets.  Runs on the shared bitset fast path
+        (see :meth:`FTVIndex.filter_reference` for the seed algebra).
         """
-        census = self.query_census(query)
-        alive: Optional[set[int]] = None
-        for seq, needed in census.counts.items():
-            postings = self.trie.lookup(seq)
-            ok = {
-                gid for gid, p in postings.items() if p.count >= needed
-            }
-            alive = ok if alive is None else (alive & ok)
-            if not alive:
-                return []
-        return sorted(alive) if alive else []
+        return self._bitset_filter(query)
 
     def verify(
         self,

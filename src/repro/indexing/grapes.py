@@ -30,7 +30,7 @@ from ..graphs import LabeledGraph
 from ..matching import Budget, GraphIndex, drive
 from ..scheduling import TaskResult, first_match_schedule
 from .base import FTVIndex, VerificationReport
-from .features import label_path_census
+from .features import coded_path_census
 from .trie import PathTrie
 
 __all__ = ["GrapesIndex", "DEFAULT_ROOT_SLICES"]
@@ -88,8 +88,11 @@ class GrapesIndex(FTVIndex):
     def _build(self) -> None:
         self.trie = PathTrie()
         for gid, graph in enumerate(self.graphs):
-            census = label_path_census(
-                graph, self.max_path_length, with_locations=True
+            census = coded_path_census(
+                graph,
+                self.max_path_length,
+                self.interner.encode_vertices(graph.labels),
+                with_locations=True,
             )
             for seq, count in census.counts.items():
                 self.trie.insert(
@@ -101,18 +104,48 @@ class GrapesIndex(FTVIndex):
     # ------------------------------------------------------------------
 
     def filter(self, query: LabeledGraph) -> list[int]:
-        """Candidates containing every query feature often enough."""
-        census = self.query_census(query)
-        alive: Optional[set[int]] = None
-        for seq, needed in census.counts.items():
-            postings = self.trie.lookup(seq)
-            ok = {
-                gid for gid, p in postings.items() if p.count >= needed
+        """Candidates containing every query feature often enough.
+
+        Bitset fast path: threshold masks per feature, intersected
+        rarest-first — provably the same sorted candidate ids as the
+        seed's set algebra (see :meth:`FTVIndex.filter_reference`).
+        """
+        return self._bitset_filter(query)
+
+    def feature_locations(
+        self, query: LabeledGraph, graph_id: int
+    ) -> frozenset[int]:
+        """Union of the query features' locations in one stored graph.
+
+        Computed for *every* stored graph in a single pass over the
+        query's features (one trie walk per feature, not one per
+        (feature, candidate) pair — the seed's shape) and memoized on
+        the query census, so a multi-candidate verification pays the
+        walk once and isomorphic repeats pay nothing.
+        """
+        census = self.coded_query_census(query)
+        unions = census.location_unions
+        if unions is None:
+            building: dict[int, set] = {}
+            find = self.trie._find
+            get = building.get
+            for seq in census.counts:
+                node = find(seq)
+                if node is None:
+                    continue
+                for gid, posting in node.postings.items():
+                    locs = posting.locations
+                    if locs:
+                        got = get(gid)
+                        if got is None:
+                            building[gid] = set(locs)
+                        else:
+                            got.update(locs)
+            unions = {
+                gid: frozenset(s) for gid, s in building.items()
             }
-            alive = ok if alive is None else (alive & ok)
-            if not alive:
-                return []
-        return sorted(alive) if alive else []
+            census.location_unions = unions
+        return unions.get(graph_id, frozenset())
 
     def relevant_components(
         self, query: LabeledGraph, graph_id: int
@@ -125,12 +158,7 @@ class GrapesIndex(FTVIndex):
         dropped before verification.  Ordered by ascending component
         size, smallest-ID first — the cheap-first deterministic order.
         """
-        census = self.query_census(query)
-        vertices: set[int] = set()
-        for seq in census.counts:
-            posting = self.trie.lookup(seq).get(graph_id)
-            if posting is not None:
-                vertices |= posting.locations
+        vertices = self.feature_locations(query, graph_id)
         if not vertices:
             return []
         graph = self.graphs[graph_id]

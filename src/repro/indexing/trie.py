@@ -13,10 +13,21 @@ Postings are stored at every node along the inserted sequence, so a
 lookup of a *prefix* of an indexed path also succeeds — matching the
 "maximal paths of the query are matched with the dataset index, pruning
 away unmatched branches" behaviour of both systems.
+
+Filter fast path: alongside the posting maps, every node can serve its
+postings as **bitmask posting lists** over stored-graph ids.
+:meth:`PathTrie.mask_ge` answers "which graphs contain this feature at
+least ``needed`` times" as a single int — the per-node *threshold
+masks* are the distinct posting counts in ascending order with
+suffix-OR'd graph masks, so one bisect plus one list index replaces a
+per-graph dict scan.  Threshold masks are built lazily on first probe
+(or eagerly via :meth:`PathTrie.seal`, which warm catalogs call) and
+invalidated by insertion.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Iterator
 
 __all__ = ["PathTrie", "SuffixTrie", "Posting"]
@@ -44,12 +55,35 @@ class Posting:
 
 
 class _Node:
-    __slots__ = ("children", "postings")
+    __slots__ = ("children", "postings", "thresholds")
 
     def __init__(self) -> None:
         self.children: dict[object, _Node] = {}
         self.postings: dict[int, Posting] = {}
+        #: (ascending distinct counts, suffix-OR graph masks); None
+        #: until sealed, reset by insertion
+        self.thresholds: tuple[list[int], list[int]] | None = None
 
+    def seal(self) -> tuple[list[int], list[int]]:
+        """Build the threshold masks from the posting map."""
+        pairs = sorted(
+            (posting.count, gid)
+            for gid, posting in self.postings.items()
+        )
+        counts: list[int] = []
+        masks: list[int] = []
+        mask = 0
+        for count, gid in reversed(pairs):
+            mask |= 1 << gid
+            if counts and counts[-1] == count:
+                masks[-1] = mask
+            else:
+                counts.append(count)
+                masks.append(mask)
+        counts.reverse()
+        masks.reverse()
+        self.thresholds = (counts, masks)
+        return self.thresholds
 
 class PathTrie:
     """Trie over label sequences with per-graph postings."""
@@ -84,6 +118,7 @@ class PathTrie:
             node.postings[graph_id] = Posting(count, locations)
         else:
             posting.merge(count, locations)
+        node.thresholds = None
 
     def _find(self, seq: LabelSeq) -> _Node | None:
         node = self._root
@@ -97,6 +132,45 @@ class PathTrie:
         """Postings of ``seq`` (empty when the feature is absent)."""
         node = self._find(seq)
         return dict(node.postings) if node else {}
+
+    def mask_ge(self, seq: LabelSeq, needed: int) -> int:
+        """Bitmask of graphs containing ``seq`` >= ``needed`` times.
+
+        Bit ``g`` is set iff graph ``g``'s posting count for ``seq`` is
+        at least ``needed`` — exactly the set the frequency-pruning
+        filter intersects, as one int.  The walk and the threshold
+        probe are inlined: this runs once per query feature on the
+        filter hot path.
+        """
+        node = self._root
+        for lab in seq:
+            node = node.children.get(lab)
+            if node is None:
+                return 0
+        thresholds = node.thresholds
+        if thresholds is None:
+            if not node.postings:
+                return 0
+            thresholds = node.seal()
+        counts, masks = thresholds
+        i = bisect_left(counts, needed)
+        return masks[i] if i < len(masks) else 0
+
+    def seal(self) -> int:
+        """Eagerly build every node's threshold masks (catalog warmup).
+
+        Returns the number of posting-carrying nodes sealed.  Purely a
+        warm-start: lazy per-probe sealing produces identical masks.
+        """
+        sealed = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.postings:
+                node.seal()
+                sealed += 1
+            stack.extend(node.children.values())
+        return sealed
 
     def contains(self, seq: LabelSeq) -> bool:
         """Whether ``seq`` is a node in the trie."""

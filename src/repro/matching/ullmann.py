@@ -19,7 +19,7 @@ strong at pruning — a usefully *different* cost profile for racing.
 
 from __future__ import annotations
 
-from ..graphs import LabeledGraph
+from ..graphs import LabeledGraph, bits_ascending
 from .engine import (
     DEFAULT_MAX_EMBEDDINGS,
     GraphIndex,
@@ -30,13 +30,7 @@ from .engine import (
 
 __all__ = ["UllmannMatcher"]
 
-
-def _bits_ascending(mask: int):
-    """Set-bit positions of ``mask`` in ascending order."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
+_bits_ascending = bits_ascending
 
 
 class UllmannMatcher(Matcher):

@@ -78,6 +78,10 @@ class Ticket:
     finish_time: Optional[int] = None
     result: Optional[object] = None
     cache_hit: bool = False
+    #: attached to an identical in-flight query's race (no own race)
+    coalesced: bool = False
+    #: raced a plan-cache/advisor-seeded variant subset, not the full set
+    plan_seeded: bool = False
     reject_reason: str = ""
 
     @property
@@ -109,6 +113,10 @@ class AdmissionController:
         self._ids = itertools.count()
         self.rejected = 0
         self.admitted = 0
+        self.coalesced = 0
+        self.plan_seeded = 0
+        #: per-tenant count of followers currently riding a leader
+        self._coalesced_backlog: dict[str, int] = {}
 
     def policy(self, tenant: str) -> TenantPolicy:
         """The effective policy for ``tenant``."""
@@ -179,6 +187,38 @@ class AdmissionController:
             self.issue(tenant, dataset, query, now, budget_steps)
         )
 
+    def attach_coalesced(self, ticket: Ticket) -> Ticket:
+        """Attach ``ticket`` to an identical in-flight query's race.
+
+        Coalesced tickets never occupy queue or worker capacity — they
+        resolve when their leader's race does — but they are still
+        bounded: a tenant's followers count against its ``max_queued``
+        allowance ("load shedding beats unbounded queues" applies to
+        ride-alongs too), so a flood of identical queries sheds instead
+        of accumulating unbounded ticket state.  The leader's tenant is
+        charged for the shared work.
+        """
+        policy = self.policy(ticket.tenant)
+        backlog = self._coalesced_backlog.get(ticket.tenant, 0)
+        if backlog >= policy.max_queued:
+            ticket.state = TicketState.REJECTED
+            ticket.reject_reason = (
+                f"coalesce backlog full ({policy.max_queued} attached)"
+            )
+            ticket.finish_time = ticket.submit_time
+            self.rejected += 1
+            return ticket
+        ticket.coalesced = True
+        self.coalesced += 1
+        self._coalesced_backlog[ticket.tenant] = backlog + 1
+        return ticket
+
+    def release_coalesced(self, ticket: Ticket) -> None:
+        """Release a resolved follower's backlog slot."""
+        self._coalesced_backlog[ticket.tenant] = max(
+            0, self._coalesced_backlog.get(ticket.tenant, 0) - 1
+        )
+
     # ------------------------------------------------------------------
     # dispatch handshake
     # ------------------------------------------------------------------
@@ -237,6 +277,8 @@ class AdmissionController:
         return {
             "admitted": self.admitted,
             "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "plan_seeded": self.plan_seeded,
             "queued": self.queued(),
             "in_flight": self.in_flight(),
             "charged_steps": {

@@ -73,19 +73,59 @@ class ResultCache:
         #: queries whose canonicalisation hit the branch budget
         self.uncacheable = 0
         self._entries: "OrderedDict[tuple, CachedResult]" = OrderedDict()
+        #: plan memory: near-miss key -> last winning Variant.  Keyed
+        #: more loosely than results (no budget / embedding caps), so a
+        #: canonical twin under a *different* execution context — a
+        #: near-miss, not a hit — can still seed a narrow race.
+        self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self.plan_hits = 0
+        self.plan_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def canon_for(self, query: LabeledGraph) -> Optional[tuple]:
+        """The query's canonical form (None when uncacheable)."""
+        canon = canonical_query_key(query)
+        if canon is None:
+            self.uncacheable += 1
+        return canon
 
     def key_for(
         self, query: LabeledGraph, context: tuple
     ) -> Optional[tuple]:
         """The full cache key, or None when the query is uncacheable."""
-        canon = canonical_query_key(query)
+        canon = self.canon_for(query)
         if canon is None:
-            self.uncacheable += 1
             return None
         return (context, canon)
+
+    # ------------------------------------------------------------------
+    # plan memory (plan-cache-seeded racing)
+    # ------------------------------------------------------------------
+
+    def plan_for(self, plan_key: Optional[tuple]) -> Optional[object]:
+        """The remembered winning variant for a near-miss key."""
+        if plan_key is None:
+            return None
+        hit = self._plans.get(plan_key)
+        if hit is None:
+            self.plan_misses += 1
+            return None
+        self._plans.move_to_end(plan_key)
+        self.plan_hits += 1
+        return hit
+
+    def store_plan(
+        self, plan_key: Optional[tuple], winner: Optional[object]
+    ) -> None:
+        """Remember (or refresh) the winning variant for ``plan_key``."""
+        if plan_key is None or winner is None:
+            return
+        self._plans[plan_key] = winner
+        self._plans.move_to_end(plan_key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
 
     def lookup(self, key: Optional[tuple]) -> Optional[CachedResult]:
         """Cached result for ``key`` (counts a hit or miss)."""
@@ -110,9 +150,10 @@ class ResultCache:
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (counted as evictions)."""
+        """Drop every entry and plan (entries counted as evictions)."""
         self.stats.evictions += len(self._entries)
         self._entries.clear()
+        self._plans.clear()
 
     def as_metrics(self) -> dict:
         """Counter snapshot for service stats / bench JSON."""
@@ -120,4 +161,7 @@ class ResultCache:
         out["entries"] = len(self._entries)
         out["capacity"] = self.capacity
         out["uncacheable"] = self.uncacheable
+        out["plan_hits"] = self.plan_hits
+        out["plan_misses"] = self.plan_misses
+        out["plan_entries"] = len(self._plans)
         return out

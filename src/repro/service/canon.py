@@ -99,7 +99,26 @@ def canonical_query_key(
     should skip caching).  Vertex *and* edge labels participate: two
     graphs with the same shape but different labelling get different
     keys.
+
+    Memoized per graph instance (the graph-side memo resets on
+    mutation): the serving path needs the key at submit time for the
+    result cache *and* in the census memo, and must canonicalise once,
+    not twice.
     """
+    from ..caching import prepare_cache  # deferred: no import cycle at use
+
+    # wrapped in a 1-tuple so a legitimate None result is memoized too
+    return prepare_cache.get(
+        graph,
+        ("canon", max_branches),
+        lambda: (_canonical_query_key(graph, max_branches),),
+    )[0]
+
+
+def _canonical_query_key(
+    graph: LabeledGraph,
+    max_branches: int,
+) -> Optional[tuple]:
     n = graph.order
     if n == 0:
         return ("canon", 0, (), (), ())

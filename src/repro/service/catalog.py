@@ -86,6 +86,8 @@ class DatasetEntry:
     prepared_algorithms: tuple[str, ...] = ()
     #: full load configuration (re-load compatibility witness)
     load_config: tuple = ()
+    #: FTVIndex.warm() statistics (sealed posting-mask nodes etc.)
+    warm_stats: dict = field(default_factory=dict)
     #: (order, size) checksums taken at load time (freeze witness)
     _shape: tuple[tuple[int, int], ...] = field(default_factory=tuple)
     #: bytes of the frozen graphs / FTV index, computed once at freeze
@@ -144,7 +146,7 @@ class DatasetEntry:
             if memo:
                 index_entries += len(memo)
                 index_bytes += approx_deep_bytes(memo)
-        return {
+        report = {
             "graphs": len(self.graphs),
             "vertices": sum(g.order for g in self.graphs),
             "edges": sum(g.size for g in self.graphs),
@@ -156,6 +158,12 @@ class DatasetEntry:
                 self._graph_bytes + index_bytes + self._ftv_bytes
             ),
         }
+        if self.ftv_index is not None:
+            report["ftv_warm"] = dict(self.warm_stats)
+            report["census_cache"] = (
+                self.ftv_index.census_cache_metrics()
+            )
+        return report
 
 
 class DatasetCatalog:
@@ -163,11 +171,41 @@ class DatasetCatalog:
 
     ``overhead`` is the race overhead model handed to each dataset's
     :class:`PsiNFV` (the service charges it per race).
+
+    ``max_bytes`` is an optional memory watermark: when the approximate
+    total footprint exceeds it after a load, least-recently-used
+    datasets are unloaded (never the one just loaded) until the total
+    fits or nothing evictable remains.  Evicted graphs' prepared-index
+    memos are dropped through
+    :meth:`repro.caching.PrepareCache.evict_graph`, so the unload shows
+    up in the cache eviction counters operators watch instead of
+    vanishing with the garbage collector.
     """
 
-    def __init__(self, overhead: OverheadModel = OverheadModel()) -> None:
+    def __init__(
+        self,
+        overhead: OverheadModel = OverheadModel(),
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.overhead = overhead
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        #: transparent re-loads of watermark-evicted datasets
+        self.reloads = 0
+        #: dataset names evicted over the catalog's lifetime, in order
+        self.evicted: list[str] = []
         self._entries: dict[str, DatasetEntry] = {}
+        #: evicted name -> its load configuration (reload-on-demand)
+        self._evicted_configs: dict[str, tuple] = {}
+        #: name -> monotone access stamp (LRU order for eviction)
+        self._access: dict[str, int] = {}
+        self._access_clock = 0
+
+    def _touch(self, name: str) -> None:
+        self._access_clock += 1
+        self._access[name] = self._access_clock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -200,6 +238,7 @@ class DatasetCatalog:
                     f"re-loading with {config}"
                 )
             existing.verify_frozen()
+            self._touch(name)
             return existing
         if name in NFV_DATASETS:
             graph = build_nfv_graph(name, scale)
@@ -226,6 +265,10 @@ class DatasetCatalog:
                 index = GGSXIndex(graphs, max_path_length=max_path_length)
             else:
                 raise ValueError(f"unknown FTV method {ftv_method!r}")
+            # warm the bitset posting lists now: the first served query
+            # probes pre-sealed threshold masks instead of paying the
+            # lazy seal on the hot path
+            warm_stats = index.warm()
             entry = DatasetEntry(
                 name=name,
                 scale=scale,
@@ -234,6 +277,7 @@ class DatasetCatalog:
                 ftv_index=index,
                 stats=LabelStats.of_collection(graphs),
                 load_config=config,
+                warm_stats=warm_stats,
             )
         else:
             raise ValueError(
@@ -242,22 +286,77 @@ class DatasetCatalog:
             )
         entry.freeze()
         self._entries[name] = entry
+        self._evicted_configs.pop(name, None)
+        self._touch(name)
+        self._maybe_evict(protect=name)
         return entry
 
     def get(self, name: str) -> DatasetEntry:
-        """The loaded entry for ``name`` (KeyError when not loaded)."""
+        """The loaded entry for ``name`` (KeyError when never loaded).
+
+        A dataset unloaded by the *watermark* (not by an explicit
+        :meth:`unload`) is transparently re-loaded with its original
+        configuration: eviction trades latency for memory, it must not
+        turn a still-configured dataset into an error.
+        """
         entry = self._entries.get(name)
         if entry is None:
+            config = self._evicted_configs.get(name)
+            if config is not None:
+                self.reloads += 1
+                scale, algorithms, ftv_method, max_path_length = config
+                return self.load(
+                    name,
+                    scale=scale,
+                    algorithms=algorithms,
+                    ftv_method=ftv_method,
+                    max_path_length=max_path_length,
+                )
             raise KeyError(
                 f"dataset {name!r} not loaded; catalog holds "
                 f"{sorted(self._entries)}"
             )
         entry.verify_frozen()
+        self._touch(name)
         return entry
 
     def unload(self, name: str) -> None:
-        """Drop a dataset (its graphs take their index memos with them)."""
+        """Drop a dataset (its graphs take their index memos with them).
+
+        Explicit unloads are final: unlike watermark eviction, a later
+        :meth:`get` raises instead of silently re-loading.
+        """
         self._entries.pop(name, None)
+        self._access.pop(name, None)
+        self._evicted_configs.pop(name, None)
+
+    def _maybe_evict(self, protect: str) -> None:
+        """Watermark eviction: unload LRU datasets until under budget."""
+        if self.max_bytes is None:
+            return
+        while True:
+            total = self.memory_report()["total_bytes"]
+            if total <= self.max_bytes:
+                return
+            victims = [
+                name for name in self._entries if name != protect
+            ]
+            if not victims:
+                return  # the protected entry alone exceeds the budget
+            victim = min(victims, key=lambda n: self._access[n])
+            self._evict(victim)
+
+    def _evict(self, name: str) -> None:
+        """Unload ``name``, dropping its prepared-index memos loudly."""
+        from ..caching import prepare_cache
+
+        entry = self._entries.pop(name)
+        self._access.pop(name, None)
+        self._evicted_configs[name] = entry.load_config
+        for graph in entry.graphs:
+            prepare_cache.evict_graph(graph)
+        self.evictions += 1
+        self.evicted.append(name)
 
     def datasets(self) -> list[str]:
         """Names of the loaded datasets."""
@@ -272,4 +371,8 @@ class DatasetCatalog:
         return {
             "datasets": per,
             "total_bytes": sum(r["total_bytes"] for r in per.values()),
+            "watermark_bytes": self.max_bytes,
+            "evictions": self.evictions,
+            "reloads": self.reloads,
+            "evicted": list(self.evicted),
         }

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import hashlib
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..graphs import LabeledGraph
 from ..matching import Budget, MatchOutcome, VF2Matcher
+from ..psi.advisor import VariantAdvisor, query_features
 from ..psi.executors import (
     DEFAULT_RACE_QUANTUM,
     OverheadModel,
@@ -82,6 +83,8 @@ class ServiceResult:
     num_embeddings: int
     per_variant_steps: tuple  # ((variant, steps), ...)
     from_cache: bool = False
+    #: resolved by attaching to an identical in-flight query's race
+    coalesced: bool = False
     matching_ids: tuple = ()  # FTV decision answers
 
     @property
@@ -118,15 +121,33 @@ class Service:
         workers: int = 4,
         quantum: int = DEFAULT_RACE_QUANTUM,
         overhead: OverheadModel = OverheadModel(),
+        plan_seeding: bool = False,
+        coalesce: bool = True,
+        advisor: Optional[VariantAdvisor] = None,
     ) -> None:
         self.catalog = catalog or DatasetCatalog(overhead=overhead)
         self.admission = admission or AdmissionController()
         self.cache = cache or ResultCache()
         self.dispatcher = Dispatcher(workers=workers, quantum=quantum)
         self.overhead = overhead
+        #: race the plan cache's winning variant plus one challenger
+        #: (advisor fallback) instead of the full variant set on
+        #: near-miss canonical hits
+        self.plan_seeding = plan_seeding
+        #: attach identical in-flight canonical keys to the running
+        #: race's ticket instead of racing twice
+        self.coalesce = coalesce
+        self.advisor = advisor
         self._verifier = VF2Matcher()
-        #: ticket.id -> (ticket, entry, options, cache key)
-        self._open: dict[int, tuple[Ticket, DatasetEntry, QueryOptions, Optional[tuple]]] = {}
+        #: ticket.id -> (ticket, entry, options, cache key, variants)
+        self._open: dict[
+            int,
+            tuple[Ticket, DatasetEntry, QueryOptions, Optional[tuple], tuple],
+        ] = {}
+        #: cache key -> leader ticket.id of the in-flight race
+        self._inflight_keys: dict[tuple, int] = {}
+        #: leader ticket.id -> coalesced follower tickets
+        self._followers: dict[int, list[Ticket]] = {}
         #: admitted-but-not-yet-dispatched (wide race waiting for slots)
         self._staged: list[int] = []
         self.completed_count = 0
@@ -162,8 +183,10 @@ class Service:
     ) -> Ticket:
         """Submit one query; returns immediately with a :class:`Ticket`.
 
-        Cache hits resolve at submit time with zero latency; everything
-        else goes through admission and the dispatcher.
+        Cache hits resolve at submit time with zero latency; an
+        identical in-flight canonical key coalesces onto the running
+        race's ticket; everything else goes through admission and the
+        dispatcher.
         """
         if budget_steps is not None and budget_steps < 1:
             raise ValueError("budget_steps must be >= 1")
@@ -208,26 +231,161 @@ class Service:
             self.completed_count += 1
             self._latencies.append(0)
             return ticket
+        if self.coalesce and key is not None:
+            leader = self._inflight_keys.get(key)
+            if leader is not None:
+                # identical query + context already racing: ride along
+                # (bounded by the tenant's max_queued allowance)
+                ticket = self.admission.attach_coalesced(ticket)
+                if ticket.state is not TicketState.REJECTED:
+                    self._followers.setdefault(leader, []).append(ticket)
+                return ticket
         ticket = self.admission.enqueue(ticket)
         if ticket.state is TicketState.QUEUED:
-            self._open[ticket.id] = (ticket, entry, options, key)
+            race_variants = self._race_variants(
+                ticket, entry, options, key
+            )
+            self._open[ticket.id] = (
+                ticket, entry, options, key, race_variants
+            )
+            if key is not None:
+                self._inflight_keys[key] = ticket.id
         return ticket
+
+    # ------------------------------------------------------------------
+    # plan-seeded racing
+    # ------------------------------------------------------------------
+
+    def _plan_key(
+        self,
+        ticket: Ticket,
+        entry: DatasetEntry,
+        options: QueryOptions,
+        key: Optional[tuple],
+    ) -> Optional[tuple]:
+        """Near-miss plan key: variant portfolio + canonical form.
+
+        Unlike the result-cache key, budgets and embedding caps are
+        *excluded* — a canonical twin under a different execution
+        context is exactly the near-miss a remembered plan should seed.
+        """
+        if key is None:
+            return None
+        canon = key[1]
+        return (
+            ticket.dataset,
+            entry.scale,
+            entry.kind,
+            options.variants(entry.kind),
+            canon,
+        )
+
+    def _race_variants(
+        self,
+        ticket: Ticket,
+        entry: DatasetEntry,
+        options: QueryOptions,
+        key: Optional[tuple],
+    ) -> tuple:
+        """The variant set this ticket will actually race.
+
+        With ``plan_seeding`` on and a plan-cache hit, the race shrinks
+        to (cached winner, one challenger) — the winner declared first,
+        so it keeps ties, mirroring the warm thread the paper's
+        framework would reuse.  Without a plan, a trained advisor
+        recommends a two-variant subset (the fallback); otherwise the
+        full set races.  The seeded race's winner and per-variant
+        charges are bit-for-bit what :func:`interleaved_race` produces
+        for that subset — seeding changes membership, never mechanics.
+        """
+        full = options.variants(entry.kind)
+        if not self.plan_seeding or len(full) <= 2:
+            return full
+        plan = self.cache.plan_for(
+            self._plan_key(ticket, entry, options, key)
+        )
+        if plan is not None and plan in full:
+            challenger = self._challenger(ticket, entry, full, plan)
+            ticket.plan_seeded = True
+            self.admission.plan_seeded += 1
+            if challenger is None:
+                return (plan,)
+            return (plan, challenger)
+        advised = self._advised_variants(ticket, entry, full)
+        if advised is not None:
+            ticket.plan_seeded = True
+            self.admission.plan_seeded += 1
+            return advised
+        return full
+
+    def _challenger(
+        self,
+        ticket: Ticket,
+        entry: DatasetEntry,
+        full: tuple,
+        plan,
+    ):
+        """One challenger to keep the seeded race honest.
+
+        A trained advisor nominates its top non-plan recommendation;
+        otherwise the first non-plan variant in declaration order runs
+        (deterministic either way).
+        """
+        if (
+            self.advisor is not None
+            and entry.kind == "nfv"
+            and self.advisor.observations
+            and entry.stats is not None
+        ):
+            feats = query_features(ticket.query, entry.stats)
+            for variant in self.advisor.recommend(feats, k=len(full)):
+                if variant != plan and variant in full:
+                    return variant
+        for variant in full:
+            if variant != plan:
+                return variant
+        return None
+
+    def _advised_variants(
+        self, ticket: Ticket, entry: DatasetEntry, full: tuple
+    ) -> Optional[tuple]:
+        """Advisor fallback when the plan cache has no near-miss."""
+        if (
+            self.advisor is None
+            or entry.kind != "nfv"
+            or not self.advisor.observations
+            or entry.stats is None
+        ):
+            return None
+        feats = query_features(ticket.query, entry.stats)
+        advised = tuple(
+            v for v in self.advisor.recommend(feats, k=2) if v in full
+        )
+        return advised or None
 
     # ------------------------------------------------------------------
     # engines
     # ------------------------------------------------------------------
 
     def _build_race(
-        self, ticket: Ticket, entry: DatasetEntry, options: QueryOptions
+        self,
+        ticket: Ticket,
+        entry: DatasetEntry,
+        options: QueryOptions,
+        variants: tuple,
     ) -> tuple[RaceTask, dict]:
-        """Engines + RaceTask for one admitted ticket."""
+        """Engines + RaceTask for one admitted ticket.
+
+        ``variants`` is the set chosen at submit time — the full
+        portfolio, or a plan/advisor-seeded subset.
+        """
         budget = Budget(max_steps=ticket.budget_steps)
         if entry.kind == "nfv":
             psi = entry.psi
             assert psi is not None
             rewritten = {
                 v: psi.rewritten(ticket.query, v.rewriting)
-                for v in options.variants("nfv")
+                for v in variants
             }
             engines = {
                 v: psi.matcher(v.algorithm).engine(
@@ -236,10 +394,12 @@ class Service:
                     max_embeddings=options.max_embeddings,
                     count_only=options.count_only,
                 )
-                for v in options.variants("nfv")
+                for v in variants
             }
         else:
-            engines = self._ftv_engines(entry, ticket.query, options)
+            engines = self._ftv_engines(
+                entry, ticket.query, options, variants
+            )
         race = RaceTask(
             engines,
             budget=budget,
@@ -249,7 +409,11 @@ class Service:
         return race, engines
 
     def _ftv_engines(
-        self, entry: DatasetEntry, query: LabeledGraph, options: QueryOptions
+        self,
+        entry: DatasetEntry,
+        query: LabeledGraph,
+        options: QueryOptions,
+        variants: tuple,
     ) -> dict:
         """One composite engine per rewriting, sweeping all candidates.
 
@@ -261,7 +425,7 @@ class Service:
         assert index is not None
         candidates = index.filter(query)
         engines = {}
-        for variant in options.variants("ftv"):
+        for variant in variants:
             rq = make_rewriting(variant.rewriting).apply(
                 query, entry.stats
             )
@@ -301,9 +465,8 @@ class Service:
             # staged tickets (admitted, waiting for width) go first
             if self._staged:
                 tid = self._staged[0]
-                ticket, entry, options, _ = self._open[tid]
-                width = len(options.variants(entry.kind))
-                if width > free:
+                ticket, entry, options, _, variants = self._open[tid]
+                if len(variants) > free:
                     return  # head-of-line: wait for the pool to drain
                 self._staged.pop(0)
             else:
@@ -311,12 +474,11 @@ class Service:
                 if ticket is None:
                     return
                 tid = ticket.id
-                _, entry, options, _ = self._open[tid]
-                width = len(options.variants(entry.kind))
-                if width > free:
+                _, entry, options, _, variants = self._open[tid]
+                if len(variants) > free:
                     self._staged.append(tid)
                     return
-            race, _ = self._build_race(ticket, entry, options)
+            race, _ = self._build_race(ticket, entry, options, variants)
             ticket.start_time = self.clock
             self.dispatcher.admit(tid, race)
 
@@ -339,24 +501,31 @@ class Service:
         return sorted(self.dispatcher.tokens(), key=rank)
 
     def pump(self) -> list[Ticket]:
-        """One scheduling tick; returns tickets completed this tick."""
+        """One scheduling tick; returns tickets completed this tick
+        (coalesced followers resolve alongside their leader)."""
         self._admit()
         if self.dispatcher.active == 0:
             return []
         events = self.dispatcher.tick(self._priority_order())
         completed: list[Ticket] = []
         for tid, work, outcome in events:
-            ticket, entry, options, key = self._open[tid]
+            ticket, entry, options, key, variants = self._open[tid]
             self.admission.charge(ticket.tenant, work)
             if outcome is None:
                 continue
-            self._finalize(ticket, outcome, key)
+            self._finalize(ticket, outcome, key, entry, options)
             del self._open[tid]
             completed.append(ticket)
+            completed.extend(self._resolve_followers(tid, ticket.result))
         return completed
 
     def _finalize(
-        self, ticket: Ticket, race: RaceOutcome, key: Optional[tuple]
+        self,
+        ticket: Ticket,
+        race: RaceOutcome,
+        key: Optional[tuple],
+        entry: DatasetEntry,
+        options: QueryOptions,
     ) -> None:
         outcome = race.outcome
         matching = (
@@ -382,6 +551,8 @@ class Service:
         self.admission.on_complete(ticket)
         self.completed_count += 1
         self._latencies.append(ticket.latency or 0)
+        if key is not None and self._inflight_keys.get(key) == ticket.id:
+            del self._inflight_keys[key]
         if not race.killed:
             cached = CachedResult(
                 found=result.found,
@@ -392,6 +563,50 @@ class Service:
                 matching_ids=matching,
             )
             self.cache.store(key, cached)
+            # the plan is remembered under the *full* portfolio key,
+            # whether this race was seeded or not: the latest winner
+            # seeds the next near-miss
+            self.cache.store_plan(
+                self._plan_key(ticket, entry, options, key), race.winner
+            )
+            self._observe_race(ticket, entry, race)
+
+    def _observe_race(
+        self, ticket: Ticket, entry: DatasetEntry, race: RaceOutcome
+    ) -> None:
+        """Feed a completed full-width NFV race to the advisor."""
+        if (
+            self.advisor is None
+            or entry.kind != "nfv"
+            or entry.stats is None
+            or ticket.plan_seeded
+            or not set(race.per_variant_steps) <= set(self.advisor.variants)
+        ):
+            return
+        self.advisor.observe(
+            query_features(ticket.query, entry.stats),
+            race.per_variant_steps,
+        )
+
+    def _resolve_followers(
+        self, leader_id: int, result: ServiceResult
+    ) -> list[Ticket]:
+        """Resolve coalesced followers with their leader's result.
+
+        Followers report the leader's race verbatim (the result cache's
+        historical-bill convention) at the leader's finish tick; their
+        latency still runs from their own submit time.
+        """
+        followers = self._followers.pop(leader_id, [])
+        resolved = replace(result, coalesced=True)
+        for ticket in followers:
+            ticket.state = TicketState.DONE
+            ticket.finish_time = self.clock
+            ticket.result = resolved
+            self.admission.release_coalesced(ticket)
+            self.completed_count += 1
+            self._latencies.append(ticket.latency or 0)
+        return followers
 
     @property
     def idle(self) -> bool:
