@@ -7,12 +7,20 @@ a size/hardness-stratified stream with isomorphic repeats), and writes
 steps and per wall-clock second, plus p50/p95/p99 simulated-step
 latency and cache/admission counters.
 
+A second section, ``sharding``, runs the same closed-loop workload on
+a multi-graph FTV collection twice — single catalog vs ``--shards N``
+— and digest-checks that the **answers** (found / embedding counts /
+matching graph ids) are bit-for-bit identical while the sharded run's
+p95 latency is no worse.  ``results_digest`` covers historical bills
+(steps, winners, latencies) and legitimately differs between layouts;
+``answers_digest`` is the sharding-invariant one that must match.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/serve_bench.py            # full
     PYTHONPATH=src python benchmarks/serve_bench.py --quick    # CI smoke
 
-The run is deterministic: the JSON embeds a results digest that must be
+The run is deterministic: the JSON embeds digests that must be
 identical across machines for the same arguments.
 """
 
@@ -21,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 if __package__ in (None, ""):  # script invocation: repo-root layout
@@ -29,6 +38,74 @@ if __package__ in (None, ""):  # script invocation: repo-root layout
 from repro.cli import main as repro_main
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def _bench_serve(out: str, **cli_args) -> dict:
+    """One ``repro bench-serve`` run; returns the JSON payload."""
+    argv = ["bench-serve", "--out", out]
+    for flag, value in cli_args.items():
+        argv += [f"--{flag.replace('_', '-')}", str(value)]
+    rc = repro_main(argv)
+    if rc != 0:
+        raise SystemExit(f"bench-serve failed ({rc}): {argv}")
+    with open(out) as fh:
+        return json.load(fh)
+
+
+def _sharding_section(args, scale: str, tmpdir: str) -> dict:
+    """Single-catalog vs sharded equivalence run on an FTV collection."""
+    common = dict(
+        dataset=args.shard_dataset,
+        scale=scale,
+        queries=30 if args.quick else 60,
+        tenants=args.tenants,
+        workers=args.workers,
+        concurrency=2,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    single = _bench_serve(f"{tmpdir}/single.json", shards=1, **common)
+    sharded = _bench_serve(
+        f"{tmpdir}/sharded.json", shards=args.shards, **common
+    )
+    if single["killed"] or sharded["killed"]:
+        # killed answers are execution-dependent (that is why they are
+        # never cached); the layout-invariance claim covers completed
+        # answers, so the equivalence run must not kill anything
+        raise SystemExit(
+            f"--budget {args.budget} kills queries "
+            f"(single={single['killed']}, sharded={sharded['killed']}); "
+            "raise the budget for the sharding equivalence section"
+        )
+    if single["answers_digest"] != sharded["answers_digest"]:
+        raise SystemExit(
+            "sharded answers diverged from single-catalog answers: "
+            f"{single['answers_digest']} != {sharded['answers_digest']}"
+        )
+    p95_single = single["latency_steps"]["p95"]
+    p95_sharded = sharded["latency_steps"]["p95"]
+    if p95_sharded > p95_single:
+        raise SystemExit(
+            f"sharded p95 regressed: {p95_sharded} > {p95_single}"
+        )
+    def trim(payload):
+        return {
+            "answers_digest": payload["answers_digest"],
+            "digest": payload["digest"],
+            "latency_steps": payload["latency_steps"],
+            "throughput": payload["throughput"],
+        }
+    return {
+        "config": {**common, "shards": args.shards},
+        "answers_equal": True,
+        "p95_single": p95_single,
+        "p95_sharded": p95_sharded,
+        "p95_speedup": (
+            p95_single / p95_sharded if p95_sharded else float("inf")
+        ),
+        "single": trim(single),
+        "sharded": trim(sharded),
+    }
 
 
 def main(argv=None) -> int:
@@ -44,35 +121,46 @@ def main(argv=None) -> int:
     parser.add_argument("--concurrency", type=int, default=1)
     parser.add_argument("--budget", type=int, default=200_000)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for the sharding section")
+    parser.add_argument("--shard-dataset", default="ppi",
+                        help="multi-graph collection for the sharding "
+                             "section")
     parser.add_argument("--out", default=str(DEFAULT_OUT))
     args = parser.parse_args(argv)
 
     scale = args.scale or ("tiny" if args.quick else "default")
     queries = args.queries or (50 if args.quick else 200)
-    rc = repro_main([
-        "bench-serve",
-        "--dataset", args.dataset,
-        "--scale", scale,
-        "--queries", str(queries),
-        "--tenants", str(args.tenants),
-        "--workers", str(args.workers),
-        "--concurrency", str(args.concurrency),
-        "--budget", str(args.budget),
-        "--seed", str(args.seed),
-        "--out", args.out,
-    ])
-    if rc != 0:
-        return rc
+    payload = _bench_serve(
+        args.out,
+        dataset=args.dataset,
+        scale=scale,
+        queries=queries,
+        tenants=args.tenants,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    with tempfile.TemporaryDirectory() as tmpdir:
+        payload["sharding"] = _sharding_section(args, scale, tmpdir)
+    payload["quick"] = args.quick
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
     # well-formedness gate: the CI smoke job relies on these keys
-    with open(args.out) as fh:
-        payload = json.load(fh)
-    for key in ("throughput", "latency_steps", "result_cache", "digest"):
+    for key in ("throughput", "latency_steps", "result_cache", "digest",
+                "answers_digest", "sharding"):
         if key not in payload:
             raise SystemExit(f"BENCH_service.json missing {key!r}")
     for pct in ("p50", "p95", "p99"):
         if pct not in (payload["latency_steps"] or {}):
             raise SystemExit(f"latency summary missing {pct!r}")
-    print(f"BENCH_service.json OK (digest {payload['digest']})")
+    sh = payload["sharding"]
+    print(
+        f"BENCH_service.json OK (digest {payload['digest']}; "
+        f"sharded answers {sh['sharded']['answers_digest']} == single, "
+        f"p95 {sh['p95_single']} -> {sh['p95_sharded']} steps)"
+    )
     return 0
 
 

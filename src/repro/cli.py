@@ -359,6 +359,8 @@ def _build_service(args: argparse.Namespace):
         raise SystemExit("--workers must be >= 1")
     if args.concurrency < 1:
         raise SystemExit("--concurrency must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     width = (
         len(args.rewritings.split(","))
         if args.dataset in FTV_DATASETS
@@ -380,6 +382,7 @@ def _build_service(args: argparse.Namespace):
         admission=AdmissionController(default_policy=policy),
         plan_seeding=args.plan_seeding,
         coalesce=not args.no_coalesce,
+        shards=args.shards,
     )
     service.load_dataset(
         args.dataset,
@@ -449,10 +452,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
     )
     payload = report.as_json()
+    shard_note = (
+        f", {args.shards} shards" if args.shards > 1 else ""
+    )
     table = Table(
         f"serve: {sum(len(s) for s in streams.values())} queries on "
         f"{args.dataset} ({args.scale}), {args.tenants} tenants, "
-        f"{args.workers} workers",
+        f"{args.workers} workers{shard_note}",
         ["tenant", "submitted", "completed", "cache hits", "rejected"],
     )
     for tenant, row in sorted(payload["tenants"].items()):
@@ -508,6 +514,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             "queries": sum(len(s) for s in streams.values()),
             "tenants": args.tenants,
             "workers": args.workers,
+            "shards": args.shards,
             "concurrency": args.concurrency,
             "budget": args.budget,
             "seed": args.seed,
@@ -646,7 +653,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total queries across all tenants")
         p.add_argument("--tenants", type=int, default=3)
         p.add_argument("--workers", type=int, default=4,
-                       help="simulated worker pool size")
+                       help="simulated worker pool size (per shard)")
+        p.add_argument("--shards", type=int, default=1,
+                       help="catalog shards; each gets its own worker "
+                            "pool and queries fan out across them")
         p.add_argument("--concurrency", type=int, default=1,
                        help="closed-loop in-flight queries per tenant")
         p.add_argument("--max-in-flight", type=int, default=4,

@@ -8,6 +8,14 @@ filtering + VF2 verification.  The paper's performance metrics count
 and filtering times, which add only a trivial overhead", §3.5); this
 base class follows that convention: :meth:`verify` reports only VF2
 steps.
+
+Equivalence invariants: :meth:`FTVIndex.filter` is deterministic (same
+graphs + query -> same ascending candidate ids on any machine) and
+per-graph (a graph's membership never depends on the rest of the
+collection — the property sharded catalogs rely on); the bitset fast
+path must return exactly what :meth:`FTVIndex.filter_reference`'s seed
+set algebra returns, and the census memo layers must never change a
+candidate set, only skip recomputing it.
 """
 
 from __future__ import annotations

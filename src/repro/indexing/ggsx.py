@@ -10,6 +10,12 @@ The missing location information is exactly why GGSX stragglers are so
 much worse than Grapes' in the paper's Figures 1 and 3 (GGSX's
 (max/min)QLA on PPI reaches 12,000,000x): every verification faces the
 full graph instead of a small relevant component.
+
+Determinism/equivalence: like every FTV index, GGSX filtering is a
+pure per-graph predicate over (graph features, query census) — see the
+invariants in :mod:`repro.indexing.base` — so candidate sets are
+machine-independent and shard-decomposable, and the suffix-trie bitset
+path must agree bit-for-bit with ``filter_reference``.
 """
 
 from __future__ import annotations

@@ -20,6 +20,13 @@ after the *first* match (decision semantics).  Multithreading is
 simulated deterministically over step costs (components are
 list-scheduled onto ``threads`` workers with first-match early
 termination) — see :mod:`repro.scheduling` and DESIGN.md §2.
+
+Determinism/equivalence: filtering is a per-graph predicate (candidate
+membership never depends on the rest of the collection, which is what
+lets a catalog shard's Grapes index agree with the global one), the
+trie's bitset fast path must match ``filter_reference`` bit-for-bit,
+and per-graph feature-location unions are isomorphism invariants safe
+to memoize per canonical query form.
 """
 
 from __future__ import annotations

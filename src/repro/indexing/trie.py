@@ -23,6 +23,11 @@ suffix-OR'd graph masks, so one bisect plus one list index replaces a
 per-graph dict scan.  Threshold masks are built lazily on first probe
 (or eagerly via :meth:`PathTrie.seal`, which warm catalogs call) and
 invalidated by insertion.
+
+Invariant: ``mask_ge(seq, needed)`` must equal the brute force "OR of
+``1 << gid`` over postings with count >= needed" for every node and
+threshold — lazily sealed, eagerly sealed, and re-sealed tries all
+answer identically (the equivalence suite probes all three states).
 """
 
 from __future__ import annotations

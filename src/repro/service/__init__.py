@@ -4,8 +4,11 @@ The paper's Ψ-framework answers one query at a time; the ROADMAP's
 north star serves heavy traffic.  This package is the bridge: a
 dataset catalog that keeps graphs and their indexes warm, admission
 control with per-tenant fair share, a deterministic dispatcher that
-interleaves many Ψ races over a bounded simulated worker pool, and a
-canonical-form result/plan cache in front of it all.
+interleaves many Ψ races over bounded simulated worker pools, a
+canonical-form result/plan cache in front of it all, and a sharded
+catalog (``Service(shards=N)``) that partitions collections and fans
+queries out with answers bit-for-bit identical to unsharded serving
+(see :mod:`repro.service.sharding`).
 
 Quickstart::
 
@@ -36,7 +39,14 @@ from .service import (
     QueryOptions,
     Service,
     ServiceResult,
+    answers_digest,
     results_digest,
+)
+from .sharding import (
+    ShardedCatalog,
+    ShardedEntry,
+    assign_shards,
+    merge_shard_outcomes,
 )
 
 __all__ = [
@@ -51,10 +61,15 @@ __all__ = [
     "ResultCache",
     "Service",
     "ServiceResult",
+    "ShardedCatalog",
+    "ShardedEntry",
     "TenantPolicy",
     "Ticket",
     "TicketState",
+    "answers_digest",
+    "assign_shards",
     "canonical_query_key",
+    "merge_shard_outcomes",
     "replay",
     "results_digest",
     "run_closed_loop",

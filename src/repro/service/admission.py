@@ -15,6 +15,13 @@ three things before the dispatcher ever sees work:
 
 Per-query step budgets default from the tenant policy, mirroring the
 paper's kill cap: a service must bound every query's worst case.
+
+Invariants: admission is deterministic — ticket ids, queue order, and
+fair-share picks are pure functions of the submission history and the
+charged-steps ledger, never of wall-clock time or hash order.  A
+sharded fan-out is admitted as **one** ticket: one queue slot, one
+in-flight unit, one coalesce identity — only the charged steps reflect
+the per-shard work actually done.
 """
 
 from __future__ import annotations
@@ -82,6 +89,9 @@ class Ticket:
     coalesced: bool = False
     #: raced a plan-cache/advisor-seeded variant subset, not the full set
     plan_seeded: bool = False
+    #: shard races this ticket fanned out into (0 until dispatched;
+    #: 1 on an unsharded catalog)
+    fanout: int = 0
     reject_reason: str = ""
 
     @property

@@ -14,6 +14,19 @@ Entries wrap:
   :class:`repro.psi.PsiNFV` whose matcher indexes are pre-built;
 * FTV datasets (ppi/synthetic): the graph collection + a Grapes (or
   GGSX) filter index and a warm VF2 verifier per stored graph.
+
+Besides the named builders, :meth:`DatasetCatalog.register` accepts a
+pre-built list of graphs under any name — that is how
+:class:`repro.service.sharding.ShardedCatalog` places one partition of
+a collection on each shard catalog.  Registered entries are warmed,
+frozen, and watermark-evicted exactly like loaded ones, but the catalog
+cannot rebuild them on its own: a watermark-evicted registered entry
+raises from :meth:`DatasetCatalog.get` instead of silently reloading,
+and the owner (the sharded catalog) re-registers it.
+
+Invariant: loading/registering is deterministic — the same name, scale,
+and configuration always produce the same frozen graphs and warm
+indexes, so serving results never depend on catalog history.
 """
 
 from __future__ import annotations
@@ -229,34 +242,71 @@ class DatasetCatalog:
         :meth:`unload` first if the change is intended.
         """
         config = (scale, tuple(algorithms), ftv_method, max_path_length)
-        existing = self._entries.get(name)
+        existing = self._existing(name, config)
         if existing is not None:
-            if existing.load_config != config:
-                raise ValueError(
-                    f"dataset {name!r} already loaded with config "
-                    f"{existing.load_config}; unload it before "
-                    f"re-loading with {config}"
-                )
-            existing.verify_frozen()
-            self._touch(name)
             return existing
         if name in NFV_DATASETS:
-            graph = build_nfv_graph(name, scale)
-            psi = PsiNFV(graph, overhead=self.overhead)
+            graphs = [build_nfv_graph(name, scale)]
+            kind = "nfv"
+        elif name in FTV_DATASETS:
+            graphs = build_ftv_graphs(name, scale)
+            kind = "ftv"
+        else:
+            raise ValueError(
+                f"unknown dataset {name!r}; known: "
+                f"{NFV_DATASETS + FTV_DATASETS}"
+            )
+        return self._install(
+            name, graphs, kind, scale, tuple(algorithms), ftv_method,
+            max_path_length, config,
+        )
+
+    def _existing(self, name: str, config: tuple):
+        """The already-loaded entry for ``name``, or None.
+
+        A configuration mismatch raises: silently answering from the
+        old configuration would corrupt results.
+        """
+        existing = self._entries.get(name)
+        if existing is None:
+            return None
+        if existing.load_config != config:
+            raise ValueError(
+                f"dataset {name!r} already loaded with config "
+                f"{existing.load_config}; unload it before "
+                f"re-loading with {config}"
+            )
+        existing.verify_frozen()
+        self._touch(name)
+        return existing
+
+    def _install(
+        self,
+        name: str,
+        graphs: list[LabeledGraph],
+        kind: str,
+        scale: str,
+        algorithms: tuple[str, ...],
+        ftv_method: str,
+        max_path_length: int,
+        config: tuple,
+    ) -> DatasetEntry:
+        """Build, warm, freeze, and store one entry (load + register)."""
+        if kind == "nfv":
+            psi = PsiNFV(graphs[0], overhead=self.overhead)
             for alg in algorithms:
                 psi.prepared(alg)  # warm the matcher indexes now
             entry = DatasetEntry(
                 name=name,
                 scale=scale,
                 kind="nfv",
-                graphs=[graph],
+                graphs=graphs,
                 psi=psi,
                 stats=psi.stats,
                 prepared_algorithms=tuple(algorithms),
                 load_config=config,
             )
-        elif name in FTV_DATASETS:
-            graphs = build_ftv_graphs(name, scale)
+        else:
             if ftv_method == "Grapes":
                 index: FTVIndex = GrapesIndex(
                     graphs, max_path_length=max_path_length
@@ -279,11 +329,6 @@ class DatasetCatalog:
                 load_config=config,
                 warm_stats=warm_stats,
             )
-        else:
-            raise ValueError(
-                f"unknown dataset {name!r}; known: "
-                f"{NFV_DATASETS + FTV_DATASETS}"
-            )
         entry.freeze()
         self._entries[name] = entry
         self._evicted_configs.pop(name, None)
@@ -291,18 +336,68 @@ class DatasetCatalog:
         self._maybe_evict(protect=name)
         return entry
 
+    def register(
+        self,
+        name: str,
+        graphs: list[LabeledGraph],
+        kind: str,
+        scale: str = "custom",
+        algorithms: tuple[str, ...] = ("GQL", "SPA"),
+        ftv_method: str = "Grapes",
+        max_path_length: int = 3,
+    ) -> DatasetEntry:
+        """Install pre-built ``graphs`` as a warm entry under ``name``.
+
+        This is the sharding hook: a :class:`ShardedCatalog` partitions
+        a collection and registers each partition on its own shard
+        catalog, which warms per-shard matcher indexes and Grapes/GGSX
+        filters exactly as :meth:`load` would for the full set.  The
+        entry's ``load_config`` is marked ``"registered"`` so the
+        watermark-eviction reload path knows the catalog cannot rebuild
+        it alone (see :meth:`get`).  Re-registering the same name with
+        the same graph shapes and configuration is idempotent; a
+        mismatch raises, like a conflicting re-load.
+        """
+        if kind not in ("nfv", "ftv"):
+            raise ValueError(f"unknown dataset kind {kind!r}")
+        if not graphs:
+            raise ValueError("cannot register an empty graph list")
+        if kind == "nfv" and len(graphs) != 1:
+            raise ValueError("nfv entries hold exactly one graph")
+        shapes = tuple((g.order, g.size) for g in graphs)
+        config = (
+            "registered", scale, kind, tuple(algorithms), ftv_method,
+            max_path_length, shapes,
+        )
+        existing = self._existing(name, config)
+        if existing is not None:
+            return existing
+        return self._install(
+            name, list(graphs), kind, scale, tuple(algorithms),
+            ftv_method, max_path_length, config,
+        )
+
     def get(self, name: str) -> DatasetEntry:
         """The loaded entry for ``name`` (KeyError when never loaded).
 
         A dataset unloaded by the *watermark* (not by an explicit
         :meth:`unload`) is transparently re-loaded with its original
         configuration: eviction trades latency for memory, it must not
-        turn a still-configured dataset into an error.
+        turn a still-configured dataset into an error.  Registered
+        entries (see :meth:`register`) are the exception — the catalog
+        has no builder for them, so a watermark-evicted registered
+        entry raises and its owner must re-register it.
         """
         entry = self._entries.get(name)
         if entry is None:
             config = self._evicted_configs.get(name)
             if config is not None:
+                if config[0] == "registered":
+                    raise KeyError(
+                        f"registered dataset {name!r} was evicted by "
+                        "the memory watermark; its owner must "
+                        "re-register it"
+                    )
                 self.reloads += 1
                 scale, algorithms, ftv_method, max_path_length = config
                 return self.load(
@@ -331,19 +426,27 @@ class DatasetCatalog:
         self._evicted_configs.pop(name, None)
 
     def _maybe_evict(self, protect: str) -> None:
-        """Watermark eviction: unload LRU datasets until under budget."""
+        """Watermark eviction: unload LRU datasets until under budget.
+
+        Entry footprints are measured once up front — an eviction only
+        removes whole entries, so the survivors' sizes don't change and
+        re-walking the catalog per victim would be pure waste.
+        """
         if self.max_bytes is None:
             return
-        while True:
-            total = self.memory_report()["total_bytes"]
-            if total <= self.max_bytes:
-                return
+        totals = {
+            name: entry.memory_report()["total_bytes"]
+            for name, entry in self._entries.items()
+        }
+        total = sum(totals.values())
+        while total > self.max_bytes:
             victims = [
                 name for name in self._entries if name != protect
             ]
             if not victims:
                 return  # the protected entry alone exceeds the budget
             victim = min(victims, key=lambda n: self._access[n])
+            total -= totals.pop(victim)
             self._evict(victim)
 
     def _evict(self, name: str) -> None:

@@ -15,6 +15,14 @@ Both return a :class:`LoadReport` whose :meth:`LoadReport.as_json` is
 the ``BENCH_service.json`` payload: throughput (queries per million
 simulated steps and per wall second) plus p50/p95/p99 simulated-step
 latency and cache/admission counters.
+
+Determinism contract: everything except ``wall_seconds`` is a pure
+function of (service configuration, streams) — the report carries two
+digests to prove it.  ``digest`` (:func:`results_digest`) covers full
+results including bills and latencies and must be identical across
+runs *of the same configuration*; ``answers`` (:func:`answers_digest`)
+covers only decision answers and must additionally be identical across
+shard layouts of the same workload.
 """
 
 from __future__ import annotations
@@ -25,7 +33,12 @@ from dataclasses import dataclass, field
 from ..metrics import summarize_latencies
 from ..workload import MixedQuery
 from .admission import Ticket, TicketState
-from .service import QueryOptions, Service, results_digest
+from .service import (
+    QueryOptions,
+    Service,
+    answers_digest,
+    results_digest,
+)
 
 __all__ = ["LoadReport", "replay", "run_closed_loop"]
 
@@ -40,6 +53,9 @@ class LoadReport:
     digest: str
     service_stats: dict
     config: dict = field(default_factory=dict)
+    #: digest over decision answers only (sharding-invariant — equal
+    #: for sharded and unsharded runs of the same workload)
+    answers: str = ""
 
     @property
     def completed(self) -> list[Ticket]:
@@ -66,10 +82,16 @@ class LoadReport:
             elif t.state is TicketState.REJECTED:
                 row["rejected"] += 1
         msteps = self.virtual_steps / 1e6 if self.virtual_steps else 0.0
+        killed = sum(1 for t in done if t.result.killed)
         return {
             "bench": "service",
             "config": self.config,
             "digest": self.digest,
+            "answers_digest": self.answers,
+            #: budget-killed queries; their answers are execution-
+            #: dependent, so answers_digest is only layout-invariant
+            #: when this is 0 in both runs being compared
+            "killed": killed,
             "throughput": {
                 "queries": len(done),
                 "virtual_steps": self.virtual_steps,
@@ -101,15 +123,15 @@ def _report(
     wall_seconds: float,
     config: dict,
 ) -> LoadReport:
+    done = [t for t in tickets if t.state is TicketState.DONE]
     return LoadReport(
         tickets=tickets,
         virtual_steps=service.clock,
         wall_seconds=wall_seconds,
-        digest=results_digest(
-            [t for t in tickets if t.state is TicketState.DONE]
-        ),
+        digest=results_digest(done),
         service_stats=service.stats(),
         config=config,
+        answers=answers_digest(done),
     )
 
 

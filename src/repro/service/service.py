@@ -16,6 +16,16 @@ machinery*: a query served alone produces bit-for-bit the same
 and concurrency never changes any query's winner or step bill — only
 its latency.  Everything is virtual-time deterministic: two runs of the
 same submission history give identical results, latencies included.
+
+With a :class:`~repro.service.sharding.ShardedCatalog` (or
+``Service(shards=N)``) the submit path fans each query out into one
+race per involved shard, runs them on per-shard worker pools, and
+merges the outcomes (:func:`repro.service.sharding.merge_shard_outcomes`)
+— decision answers stay bit-for-bit identical to unsharded serving,
+and the result cache keys on (query, collection) so both layouts share
+hits.  Internally the unsharded service is just the one-shard case of
+the same fan-out plumbing, with the single outcome passed through
+untouched.
 """
 
 from __future__ import annotations
@@ -39,8 +49,15 @@ from .admission import AdmissionController, Ticket, TicketState
 from .cache import CachedResult, ResultCache
 from .catalog import DatasetCatalog, DatasetEntry
 from .dispatcher import Dispatcher, RaceTask
+from .sharding import ShardedCatalog, ShardedEntry, merge_shard_outcomes
 
-__all__ = ["QueryOptions", "ServiceResult", "Service", "results_digest"]
+__all__ = [
+    "QueryOptions",
+    "ServiceResult",
+    "Service",
+    "results_digest",
+    "answers_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -50,12 +67,21 @@ class QueryOptions:
     For NFV datasets the race runs ``algorithms x rewritings``; for FTV
     datasets verification is VF2 (the paper's FTV mode) and only
     ``rewritings`` vary.
+
+    ``decision_only`` asks for the existence answer, not the full one:
+    FTV sweeps stop at their first matching graph and NFV races stop at
+    their first embedding, and on a sharded catalog the first shard to
+    find a match cancels its siblings' remaining budget (the paper's
+    first-winner semantics applied across partitions).  Only ``found``
+    is answer-contractual in this mode — ``matching_ids`` may be any
+    nonempty witness subset — so it gets its own cache-key signature.
     """
 
     algorithms: tuple[str, ...] = ("GQL", "SPA")
     rewritings: tuple[str, ...] = ("Orig", "DND")
     max_embeddings: int = 1000
     count_only: bool = True
+    decision_only: bool = False
 
     def variants(self, kind: str) -> tuple[Variant, ...]:
         """The race's variant set for a dataset kind."""
@@ -69,6 +95,7 @@ class QueryOptions:
             self.variants(kind),
             self.max_embeddings,
             self.count_only,
+            self.decision_only,
         )
 
 
@@ -110,12 +137,50 @@ def results_digest(tickets: list[Ticket]) -> str:
     return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
 
 
+def answers_digest(tickets: list[Ticket]) -> str:
+    """Order-independent digest of a workload's *decision answers*.
+
+    Unlike :func:`results_digest` this covers only the
+    sharding-invariant parts of each result — found / embedding count /
+    matching ids / killed — and none of the historical bill (steps,
+    winner, latency).  Sharded and unsharded runs of the same workload
+    must agree on this digest whenever no query was budget-killed;
+    that equality is the acceptance check for "sharding never changes
+    a completed answer".  Killed answers are execution-dependent (each
+    shard race carries its own kill cap), so the killed flag is hashed
+    precisely so that any such divergence surfaces loudly instead of
+    passing as equal.
+    """
+    lines = sorted(
+        f"{t.tenant}/{t.query.name}:{int(r.found)}:{r.num_embeddings}:"
+        f"{','.join(str(i) for i in r.matching_ids)}:{int(r.killed)}"
+        for t in tickets
+        if isinstance((r := t.result), ServiceResult)
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
+@dataclass
+class _FanoutState:
+    """Merge bookkeeping for one ticket's per-shard races.
+
+    ``id_maps[shard]`` translates the shard's local graph ids to global
+    ids (None = identity); ``cancelled`` records shards whose remaining
+    budget a first-true decision revoked (they contribute no outcome).
+    """
+
+    pending: set
+    outcomes: dict
+    id_maps: dict
+    cancelled: list
+
+
 class Service:
     """A concurrent graph-query serving layer over the Ψ machinery."""
 
     def __init__(
         self,
-        catalog: Optional[DatasetCatalog] = None,
+        catalog: Optional[DatasetCatalog | ShardedCatalog] = None,
         admission: Optional[AdmissionController] = None,
         cache: Optional[ResultCache] = None,
         workers: int = 4,
@@ -124,11 +189,32 @@ class Service:
         plan_seeding: bool = False,
         coalesce: bool = True,
         advisor: Optional[VariantAdvisor] = None,
+        shards: int = 1,
     ) -> None:
-        self.catalog = catalog or DatasetCatalog(overhead=overhead)
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if catalog is not None:
+            self.catalog = catalog
+        elif shards > 1:
+            self.catalog = ShardedCatalog(
+                num_shards=shards, overhead=overhead
+            )
+        else:
+            self.catalog = DatasetCatalog(overhead=overhead)
+        #: fan queries out across catalog shards (each shard gets its
+        #: own worker pool of ``workers`` slots)
+        self.sharded = isinstance(self.catalog, ShardedCatalog)
+        pools = self.catalog.num_shards if self.sharded else 1
+        if shards > 1 and pools != shards:
+            raise ValueError(
+                f"shards={shards} conflicts with the provided "
+                f"catalog's {pools} shard(s)"
+            )
         self.admission = admission or AdmissionController()
         self.cache = cache or ResultCache()
-        self.dispatcher = Dispatcher(workers=workers, quantum=quantum)
+        self.dispatcher = Dispatcher(
+            workers=workers, quantum=quantum, pools=pools
+        )
         self.overhead = overhead
         #: race the plan cache's winning variant plus one challenger
         #: (advisor fallback) instead of the full variant set on
@@ -148,8 +234,14 @@ class Service:
         self._inflight_keys: dict[tuple, int] = {}
         #: leader ticket.id -> coalesced follower tickets
         self._followers: dict[int, list[Ticket]] = {}
-        #: admitted-but-not-yet-dispatched (wide race waiting for slots)
+        #: admitted-but-not-yet-dispatched (fan-out waiting for slots)
         self._staged: list[int] = []
+        #: staged ticket.id -> its built per-shard races + id maps
+        self._staged_races: dict[int, tuple[dict, dict]] = {}
+        #: ticket.id -> in-flight fan-out merge state
+        self._fanout: dict[int, _FanoutState] = {}
+        #: sibling shard races cancelled by a first-true decision
+        self.shard_cancelled = 0
         self.completed_count = 0
         # sliding window: stats() reports the most recent completions,
         # so a long-lived service doesn't grow (or re-sort) its whole
@@ -387,11 +479,14 @@ class Service:
                 v: psi.rewritten(ticket.query, v.rewriting)
                 for v in variants
             }
+            max_embeddings = (
+                1 if options.decision_only else options.max_embeddings
+            )
             engines = {
                 v: psi.matcher(v.algorithm).engine(
                     psi.prepared(v.algorithm),
                     rewritten[v].graph,
-                    max_embeddings=options.max_embeddings,
+                    max_embeddings=max_embeddings,
                     count_only=options.count_only,
                 )
                 for v in variants
@@ -407,6 +502,34 @@ class Service:
             quantum=self.dispatcher.quantum,
         )
         return race, engines
+
+    def _build_races(
+        self,
+        ticket: Ticket,
+        entry,
+        options: QueryOptions,
+        variants: tuple,
+    ) -> tuple[dict, dict]:
+        """Per-shard races + local->global id maps for one ticket.
+
+        The unsharded service is the degenerate fan-out: one race on
+        pool 0 with an identity id map, whose outcome later passes
+        through :func:`merge_shard_outcomes` untouched — so both
+        layouts run the same pump loop.
+        """
+        if not isinstance(entry, ShardedEntry):
+            race, _ = self._build_race(ticket, entry, options, variants)
+            return {0: race}, {0: None}
+        races: dict[int, RaceTask] = {}
+        id_maps: dict[int, Optional[tuple]] = {}
+        for shard in entry.involved_shards():
+            sub = entry.shard_entry(shard)
+            race, _ = self._build_race(ticket, sub, options, variants)
+            races[shard] = race
+            id_maps[shard] = (
+                None if entry.kind == "nfv" else entry.shard_ids(shard)
+            )
+        return races, id_maps
 
     def _ftv_engines(
         self,
@@ -430,12 +553,16 @@ class Service:
                 query, entry.stats
             )
             engines[variant] = self._ftv_sweep(
-                index, rq.graph, list(candidates)
+                index, rq.graph, list(candidates), options.decision_only
             )
         return engines
 
-    def _ftv_sweep(self, index, query_graph, candidates):
-        """Generator engine: first-match VF2 over each candidate."""
+    def _ftv_sweep(self, index, query_graph, candidates, decision_only):
+        """Generator engine: first-match VF2 over each candidate.
+
+        With ``decision_only`` the sweep settles at its first matching
+        graph — the existence answer — instead of verifying the rest.
+        """
         matched: list[int] = []
         for gid in candidates:
             out = yield from self._verifier.engine(
@@ -446,6 +573,8 @@ class Service:
             )
             if out.found:
                 matched.append(gid)
+                if decision_only:
+                    break
         final = MatchOutcome(
             found=bool(matched), num_embeddings=len(matched)
         )
@@ -456,49 +585,111 @@ class Service:
     # the tick loop
     # ------------------------------------------------------------------
 
+    def _fits(self, races: dict) -> bool:
+        """Whether every shard pool can co-schedule its race now."""
+        return all(
+            race.width <= self.dispatcher.slots_free(shard)
+            for shard, race in races.items()
+        )
+
+    def _dispatch(self, ticket: Ticket, races: dict, id_maps: dict) -> None:
+        """Attach one ticket's fan-out to the per-shard pools."""
+        tid = ticket.id
+        for shard in sorted(races):
+            self.dispatcher.admit((tid, shard), races[shard], pool=shard)
+        self._fanout[tid] = _FanoutState(
+            pending=set(races),
+            outcomes={},
+            id_maps=id_maps,
+            cancelled=[],
+        )
+        ticket.start_time = self.clock
+        ticket.fanout = len(races)
+
     def _admit(self) -> None:
-        """Move queued tickets into the dispatcher while slots allow."""
+        """Move queued tickets into the dispatcher while slots allow.
+
+        A sharded ticket is gang-admitted: all its shard races attach
+        in the same tick (each to its own pool), or the ticket waits at
+        the head of the staging line — partial fan-outs would make a
+        ticket's latency depend on unrelated pools' drain order.
+        """
         while True:
-            free = self.dispatcher.slots_free()
-            if free <= 0:
-                return
-            # staged tickets (admitted, waiting for width) go first
             if self._staged:
+                # staged tickets (admitted, waiting for width) go first
                 tid = self._staged[0]
-                ticket, entry, options, _, variants = self._open[tid]
-                if len(variants) > free:
-                    return  # head-of-line: wait for the pool to drain
+                ticket = self._open[tid][0]
+                races, id_maps = self._staged_races[tid]
+                if not self._fits(races):
+                    return  # head-of-line: wait for the pools to drain
                 self._staged.pop(0)
+                del self._staged_races[tid]
             else:
+                if all(
+                    self.dispatcher.slots_free(p) <= 0
+                    for p in range(self.dispatcher.pools)
+                ):
+                    return
                 ticket = self.admission.next_ticket()
                 if ticket is None:
                     return
                 tid = ticket.id
                 _, entry, options, _, variants = self._open[tid]
-                if len(variants) > free:
+                races, id_maps = self._build_races(
+                    ticket, entry, options, variants
+                )
+                if not self._fits(races):
                     self._staged.append(tid)
+                    self._staged_races[tid] = (races, id_maps)
                     return
-            race, _ = self._build_race(ticket, entry, options, variants)
-            ticket.start_time = self.clock
-            self.dispatcher.admit(tid, race)
+            self._dispatch(ticket, races, id_maps)
 
-    def _priority_order(self) -> list[int]:
-        """Fair-share order over active race tokens (ticket ids).
+    def _priority_order(self) -> list:
+        """Fair-share order over active race tokens ((tid, shard)).
 
         Only dispatcher-attached races are ranked — queued tickets are
-        ordered by admission, not here.
+        ordered by admission, not here.  A ticket's shard races share
+        its rank; the shard index is only the final tie-break.
         """
         ledger = self.admission.ledger
 
-        def rank(tid: int) -> tuple:
+        def rank(token) -> tuple:
+            tid, shard = token
             ticket = self._open[tid][0]
             return (
                 ledger.virtual_time(ticket.tenant),
                 ledger.registration_index(ticket.tenant),
                 tid,
+                shard,
             )
 
         return sorted(self.dispatcher.tokens(), key=rank)
+
+    def _on_shard_done(
+        self, tid: int, shard: int, outcome: RaceOutcome,
+        options: QueryOptions,
+    ) -> Optional[RaceOutcome]:
+        """Record one shard's outcome; merge when the fan-out resolves.
+
+        First-true short-circuit: in decision-only mode a shard that
+        found a match settles the query, so the siblings' remaining
+        budget is cancelled (their partial work stays charged — it was
+        really done).  Returns the merged outcome once no shard is
+        pending, else None.
+        """
+        state = self._fanout[tid]
+        state.pending.discard(shard)
+        state.outcomes[shard] = outcome
+        if options.decision_only and outcome.found and state.pending:
+            for sibling in sorted(state.pending):
+                self.dispatcher.cancel((tid, sibling))
+                state.cancelled.append(sibling)
+                self.shard_cancelled += 1
+            state.pending.clear()
+        if state.pending:
+            return None
+        del self._fanout[tid]
+        return merge_shard_outcomes(state.outcomes, state.id_maps)
 
     def pump(self) -> list[Ticket]:
         """One scheduling tick; returns tickets completed this tick
@@ -507,13 +698,26 @@ class Service:
         if self.dispatcher.active == 0:
             return []
         events = self.dispatcher.tick(self._priority_order())
-        completed: list[Ticket] = []
-        for tid, work, outcome in events:
-            ticket, entry, options, key, variants = self._open[tid]
+        # pass 1: bill every shard's work this tick while all tickets
+        # are still open — a shard whose sibling settles the query this
+        # same tick still really did its final round
+        for token, work, _outcome in events:
+            ticket = self._open[token[0]][0]
             self.admission.charge(ticket.tenant, work)
+        completed: list[Ticket] = []
+        for token, _work, outcome in events:
             if outcome is None:
                 continue
-            self._finalize(ticket, outcome, key, entry, options)
+            tid, shard = token
+            if tid not in self._open:
+                # a sibling shard's first-true decision already settled
+                # this ticket earlier in the tick; drop the late outcome
+                continue
+            ticket, entry, options, key, variants = self._open[tid]
+            merged = self._on_shard_done(tid, shard, outcome, options)
+            if merged is None:
+                continue
+            self._finalize(ticket, merged, key, entry, options)
             del self._open[tid]
             completed.append(ticket)
             completed.extend(self._resolve_followers(tid, ticket.result))
@@ -646,6 +850,8 @@ class Service:
             "work_steps": self.dispatcher.work_steps,
             "completed": self.completed_count,
             "active": self.dispatcher.active,
+            "shards": self.dispatcher.pools,
+            "shard_cancelled": self.shard_cancelled,
             "latency_steps": latency,
             "admission": self.admission.stats(),
             "result_cache": self.cache.as_metrics(),

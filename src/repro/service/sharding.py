@@ -1,0 +1,439 @@
+"""Sharded catalogs and fan-out/merge answers for the serving layer.
+
+The paper races query *variants* and keeps the first finisher; the
+ROADMAP's scaling item applies the same discipline one level up, across
+**partitions of the data**.  A :class:`ShardedCatalog` splits a stored
+graph collection across N :class:`~repro.service.catalog.DatasetCatalog`
+shards (hash or size-balanced assignment); each shard warms its own
+matcher indexes and Grapes/GGSX filter over its partition only.  The
+service fans a query out into one race per involved shard, runs them on
+per-shard worker pools (``Dispatcher(pools=N)``) over the shared
+virtual clock, and merges the per-shard :class:`RaceOutcome`\\ s with
+:func:`merge_shard_outcomes`.
+
+Equivalence invariants (proven in ``tests/test_service_sharding.py``):
+
+* **Completed decision answers are shard-invariant.**  An FTV filter
+  is a per-graph predicate — a stored graph survives filtering iff it
+  alone contains the query's features often enough — so a shard's
+  candidate set is exactly the global candidate set restricted to the
+  shard, and the union of per-shard verified matches equals the
+  single-catalog match set.  The merged ``found`` /
+  ``num_embeddings`` / ``matching_ids`` (mapped back to global graph
+  ids, ascending) of every *budget-completed* query are therefore
+  **bit-for-bit identical** to the unsharded answer, which is what
+  lets sharded and unsharded serving share one result cache.  The kill
+  cap is the one budget semantic that is per race: each shard race
+  gets the ticket's full step budget as its own time cap (merged race
+  *time* never exceeds the budget, but total *work* may reach budget x
+  shards), so under a budget tight enough to kill, *which* queries die
+  can differ between layouts — exactly why killed results are
+  execution-dependent and are never cached in any layout.
+* **Everything is deterministic.**  Assignment is a pure function of
+  (graph shapes, shard count, strategy); per-shard races are the same
+  deterministic generators as solo races; the merge is a pure fold in
+  shard order.  Two runs of the same sharded workload produce identical
+  answers, bills, and latencies.
+* **Bills are historical, not invariant.**  Merged ``steps`` is the
+  *parallel* completion time — the slowest (or, under first-true
+  short-circuit, the deciding) shard's race time — and
+  ``per_variant_steps`` sums each variant's work across shards.  Like
+  every cached bill, these describe what this run paid, not what any
+  isomorphic re-issue would pay.
+
+First-winner semantics one level up: in *decision-only* mode
+(``QueryOptions(decision_only=True)``) a shard whose race finds a match
+settles the query — the service cancels the sibling shards' remaining
+budget, mirroring the paper's race where the first finisher kills the
+losers.  In the default full mode every shard completes so the merged
+``matching_ids`` stay bit-for-bit complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import zlib
+
+from ..graphs import LabeledGraph
+from ..harness import (
+    FTV_DATASETS,
+    NFV_DATASETS,
+    build_ftv_graphs,
+    build_nfv_graph,
+)
+from ..matching import MatchOutcome
+from ..psi.executors import OverheadModel, RaceOutcome
+from ..rewriting import LabelStats
+from .catalog import DatasetCatalog, DatasetEntry
+
+__all__ = [
+    "assign_shards",
+    "ShardedEntry",
+    "ShardedCatalog",
+    "merge_shard_outcomes",
+]
+
+
+def assign_shards(
+    graphs: Sequence[LabeledGraph],
+    num_shards: int,
+    strategy: str = "size_balanced",
+) -> tuple[tuple[int, ...], ...]:
+    """Partition graph ids across ``num_shards`` shards.
+
+    Returns one ascending tuple of global graph ids per shard.  Both
+    strategies are pure functions of the inputs (no randomness, no
+    iteration-order dependence), so an assignment can be reproduced
+    from the dataset alone:
+
+    * ``"hash"`` — graph ``g`` goes to shard ``g % num_shards``; cheap
+      and stateless, but blind to graph sizes;
+    * ``"size_balanced"`` — longest-processing-time greedy: graphs are
+      placed largest-first (by edge count, id as tie-break) onto the
+      shard with the fewest assigned edges, so shard verification loads
+      stay even when graph sizes vary widely.
+
+    Shards may come out empty when ``num_shards`` exceeds the graph
+    count; the service simply never fans a query out to them.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if strategy == "hash":
+        out: list[list[int]] = [[] for _ in range(num_shards)]
+        for gid in range(len(graphs)):
+            out[gid % num_shards].append(gid)
+        return tuple(tuple(ids) for ids in out)
+    if strategy == "size_balanced":
+        out = [[] for _ in range(num_shards)]
+        loads = [0] * num_shards
+        order = sorted(
+            range(len(graphs)),
+            key=lambda g: (-graphs[g].size, g),
+        )
+        for gid in order:
+            shard = min(range(num_shards), key=lambda s: (loads[s], s))
+            out[shard].append(gid)
+            loads[shard] += graphs[gid].size
+        return tuple(tuple(sorted(ids)) for ids in out)
+    raise ValueError(
+        f"unknown assignment strategy {strategy!r}; "
+        "known: hash, size_balanced"
+    )
+
+
+@dataclass
+class ShardedEntry:
+    """One dataset as the sharded catalog serves it.
+
+    Mirrors the fields the service reads off a
+    :class:`~repro.service.catalog.DatasetEntry` (``kind``, ``scale``,
+    ``stats``) so cache keys — and therefore cache hits — are shared
+    with unsharded serving, plus the shard map: which global graph ids
+    live on which shard.
+    """
+
+    name: str
+    scale: str
+    kind: str  # "nfv" | "ftv"
+    #: the full collection in global id order (graph objects are shared
+    #: with the shard entries, never copied)
+    graphs: list[LabeledGraph]
+    #: collection-wide label statistics (identical to the unsharded
+    #: entry's, so rewriting decisions don't depend on shard layout)
+    stats: LabelStats
+    #: ascending global graph ids per shard (empty tuple = empty shard)
+    assignment: tuple[tuple[int, ...], ...]
+    #: the single shard holding an NFV entry's stored graph
+    home_shard: int
+    _catalog: "ShardedCatalog"
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of the owning catalog."""
+        return len(self.assignment)
+
+    def involved_shards(self) -> tuple[int, ...]:
+        """Shards that hold at least one graph (fan-out targets)."""
+        if self.kind == "nfv":
+            return (self.home_shard,)
+        return tuple(
+            s for s, ids in enumerate(self.assignment) if ids
+        )
+
+    def shard_ids(self, shard: int) -> tuple[int, ...]:
+        """Global graph ids stored on ``shard`` (local id = position)."""
+        return self.assignment[shard]
+
+    def shard_entry(self, shard: int) -> DatasetEntry:
+        """The shard's warm :class:`DatasetEntry` (reload-transparent)."""
+        return self._catalog.shard_entry(self.name, shard)
+
+    @property
+    def psi(self):
+        """The NFV entry's warm Ψ frontend (home shard)."""
+        if self.kind != "nfv":
+            raise ValueError(f"dataset {self.name!r} is a collection")
+        return self.shard_entry(self.home_shard).psi
+
+
+class ShardedCatalog:
+    """N shard catalogs serving partitions of each dataset.
+
+    ``load`` builds a named dataset once, partitions collections with
+    :func:`assign_shards`, and registers each partition on its own
+    :class:`DatasetCatalog` shard — so every shard warms its own
+    matcher indexes and Grapes/GGSX filters over just its graphs.  NFV
+    datasets (one stored graph) live whole on a deterministic home
+    shard.
+
+    ``max_bytes`` is split evenly across shards: each shard catalog
+    enforces its own watermark and evicts independently, so memory
+    accounting — like work — is per shard.  A watermark-evicted shard
+    partition is transparently re-registered on next access (the
+    ``reloads`` counter ticks), because the sharded catalog retains the
+    built collection and assignment.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        overhead: OverheadModel = OverheadModel(),
+        max_bytes: Optional[int] = None,
+        assignment: str = "size_balanced",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if max_bytes is not None and max_bytes < num_shards:
+            raise ValueError("max_bytes must be >= num_shards")
+        self.num_shards = num_shards
+        self.overhead = overhead
+        self.assignment_strategy = assignment
+        per_shard = (
+            max_bytes // num_shards if max_bytes is not None else None
+        )
+        self.shards = [
+            DatasetCatalog(overhead=overhead, max_bytes=per_shard)
+            for _ in range(num_shards)
+        ]
+        #: transparent re-registrations of watermark-evicted partitions
+        self.reloads = 0
+        self._entries: dict[str, ShardedEntry] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        name: str,
+        scale: str = "default",
+        algorithms: tuple[str, ...] = ("GQL", "SPA"),
+        ftv_method: str = "Grapes",
+        max_path_length: int = 3,
+    ) -> ShardedEntry:
+        """Load ``name``, partition it, and warm every shard.
+
+        Idempotent per name with the same configuration; a conflicting
+        re-load raises, mirroring :meth:`DatasetCatalog.load`.
+        """
+        config = (scale, tuple(algorithms), ftv_method, max_path_length)
+        existing = self._entries.get(name)
+        if existing is not None:
+            if existing._load_config != config:
+                raise ValueError(
+                    f"dataset {name!r} already loaded with config "
+                    f"{existing._load_config}; unload it before "
+                    f"re-loading with {config}"
+                )
+            return existing
+        if name in NFV_DATASETS:
+            graphs = [build_nfv_graph(name, scale)]
+            kind = "nfv"
+            home = zlib.crc32(name.encode()) % self.num_shards
+            assignment = tuple(
+                (0,) if s == home else ()
+                for s in range(self.num_shards)
+            )
+        elif name in FTV_DATASETS:
+            graphs = build_ftv_graphs(name, scale)
+            kind = "ftv"
+            home = 0
+            assignment = assign_shards(
+                graphs, self.num_shards, self.assignment_strategy
+            )
+        else:
+            raise ValueError(
+                f"unknown dataset {name!r}; known: "
+                f"{NFV_DATASETS + FTV_DATASETS}"
+            )
+        entry = ShardedEntry(
+            name=name,
+            scale=scale,
+            kind=kind,
+            graphs=graphs,
+            stats=LabelStats.of_collection(graphs),
+            assignment=assignment,
+            home_shard=home,
+            _catalog=self,
+        )
+        entry._load_config = config
+        entry._register_config = (
+            scale, tuple(algorithms), ftv_method, max_path_length
+        )
+        self._entries[name] = entry
+        for shard in entry.involved_shards():
+            self._register_shard(entry, shard)
+        return entry
+
+    def _register_shard(
+        self, entry: ShardedEntry, shard: int
+    ) -> DatasetEntry:
+        """(Re-)register one partition on its shard catalog."""
+        scale, algorithms, ftv_method, max_path_length = (
+            entry._register_config
+        )
+        return self.shards[shard].register(
+            entry.name,
+            [entry.graphs[g] for g in entry.assignment[shard]],
+            kind=entry.kind,
+            scale=scale,
+            algorithms=algorithms,
+            ftv_method=ftv_method,
+            max_path_length=max_path_length,
+        )
+
+    def get(self, name: str) -> ShardedEntry:
+        """The sharded entry for ``name`` (KeyError when never loaded)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise KeyError(
+                f"dataset {name!r} not loaded; sharded catalog holds "
+                f"{sorted(self._entries)}"
+            )
+        return entry
+
+    def shard_entry(self, name: str, shard: int) -> DatasetEntry:
+        """One shard's warm partition entry.
+
+        A partition the shard catalog watermark-evicted is transparently
+        re-registered here (the sharded catalog still holds the graphs
+        and the assignment), so eviction trades latency for memory
+        without ever turning a loaded dataset into an error.
+        """
+        entry = self.get(name)
+        if not entry.assignment[shard]:
+            raise KeyError(f"shard {shard} holds no graphs of {name!r}")
+        try:
+            return self.shards[shard].get(name)
+        except KeyError:
+            self.reloads += 1
+            return self._register_shard(entry, shard)
+
+    def unload(self, name: str) -> None:
+        """Drop a dataset from every shard (explicit, final)."""
+        self._entries.pop(name, None)
+        for shard in self.shards:
+            shard.unload(name)
+
+    def datasets(self) -> list[str]:
+        """Names of the loaded datasets."""
+        return sorted(self._entries)
+
+    def memory_report(self) -> dict:
+        """Per-shard memory accounting plus catalog-wide totals."""
+        per = [shard.memory_report() for shard in self.shards]
+        return {
+            "num_shards": self.num_shards,
+            "shards": per,
+            "total_bytes": sum(r["total_bytes"] for r in per),
+            "evictions": sum(r["evictions"] for r in per),
+            "reloads": (
+                self.reloads + sum(r["reloads"] for r in per)
+            ),
+            "datasets": {
+                name: {
+                    "kind": e.kind,
+                    "graphs_per_shard": [
+                        len(ids) for ids in e.assignment
+                    ],
+                }
+                for name, e in sorted(self._entries.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# fan-out merge
+# ----------------------------------------------------------------------
+
+def merge_shard_outcomes(
+    outcomes: dict[int, RaceOutcome],
+    id_maps: dict[int, Optional[tuple[int, ...]]],
+) -> RaceOutcome:
+    """Fold per-shard race outcomes into one :class:`RaceOutcome`.
+
+    ``id_maps[shard]`` maps the shard's local graph ids to global ids
+    (``None`` = identity — NFV entries and the unsharded path).  With a
+    single identity-mapped shard the outcome passes through untouched,
+    which is what keeps the unsharded service bit-for-bit the
+    pre-sharding service.
+
+    Merge semantics (deterministic, shard-order fold):
+
+    * ``found`` — OR over shards; ``killed`` — OR over shards (one
+      budget-killed shard leaves the merged answer incomplete, so it is
+      marked killed and never cached);
+    * ``matching_ids`` — per-shard local matches mapped to global ids
+      and merged ascending, identical to the unsharded sweep order;
+    * ``num_embeddings`` — summed (FTV: the count of matching graphs);
+    * ``steps`` — the deciding shard's race time, where the deciding
+      shard is the lowest-indexed shard that found a match, or, when
+      none did, the slowest shard (parallel completion time: shards run
+      on disjoint pools);
+    * ``winner`` — the deciding shard's winner;
+    * ``per_variant_steps`` — summed per variant across shards (the
+      total work bill of the fan-out).
+    """
+    if not outcomes:
+        raise ValueError("cannot merge zero shard outcomes")
+    shards = sorted(outcomes)
+    if len(shards) == 1 and id_maps.get(shards[0]) is None:
+        return outcomes[shards[0]]
+    found_shards = [s for s in shards if outcomes[s].found]
+    if found_shards:
+        deciding = found_shards[0]
+    else:
+        deciding = max(shards, key=lambda s: (outcomes[s].steps, -s))
+    matching: list[int] = []
+    num_embeddings = 0
+    per_variant: dict = {}
+    overhead = 0
+    for s in shards:
+        race = outcomes[s]
+        overhead += race.overhead_steps
+        for variant, steps in race.per_variant_steps.items():
+            per_variant[variant] = per_variant.get(variant, 0) + steps
+        if race.outcome is None:
+            continue
+        num_embeddings += race.outcome.num_embeddings
+        local = tuple(getattr(race.outcome, "matching_ids", ()))
+        id_map = id_maps.get(s)
+        matching.extend(
+            local if id_map is None else (id_map[i] for i in local)
+        )
+    found = bool(found_shards)
+    merged_match = MatchOutcome(
+        found=found, num_embeddings=num_embeddings
+    )
+    merged_match.matching_ids = tuple(sorted(matching))
+    return RaceOutcome(
+        winner=outcomes[deciding].winner,
+        outcome=merged_match,
+        steps=outcomes[deciding].steps,
+        found=found,
+        killed=any(outcomes[s].killed for s in shards),
+        overhead_steps=overhead,
+        per_variant_steps=per_variant,
+    )

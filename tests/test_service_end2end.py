@@ -277,6 +277,56 @@ class TestFTVServing:
             assert list(t.result.matching_ids) == ref.matching_ids
 
 
+class TestShardedServing:
+    """End-to-end sharded serving (edge cases live in
+    tests/test_service_sharding.py)."""
+
+    def test_sharded_ftv_end_to_end_deterministic(self):
+        graphs = build_ftv_graphs("ppi", "tiny")
+        mixes = default_tenant_mixes(2, 4, sizes=(4, 6), repeat_fraction=0.4)
+        streams = {
+            m.tenant: generate_tenant_stream(graphs, m, seed=9)
+            for m in mixes
+        }
+        opts = QueryOptions(rewritings=("Orig", "DND"))
+        reports = []
+        for _ in range(2):
+            svc = Service(
+                workers=4,
+                shards=2,
+                admission=AdmissionController(
+                    default_policy=TenantPolicy(step_budget=BUDGET)
+                ),
+            )
+            svc.load_dataset("ppi", scale="tiny")
+            reports.append(run_closed_loop(svc, "ppi", streams, options=opts))
+        a, b = reports
+        assert a.digest == b.digest
+        assert a.answers == b.answers
+        assert len(a.completed) == 8
+        found = [t for t in a.completed if t.result.found]
+        assert found
+        for t in found:
+            assert t.result.matching_ids
+
+    def test_sharded_service_unsharded_equivalence(self, store):
+        """Answers on an NFV dataset are shard-layout-invariant."""
+        streams = streams_for(store, queries_per_tenant=4)
+        base = run_closed_loop(
+            make_service(), "yeast", streams, options=OPTS
+        )
+        svc = Service(
+            workers=4,
+            shards=2,
+            admission=AdmissionController(
+                default_policy=TenantPolicy(step_budget=BUDGET)
+            ),
+        )
+        svc.load_dataset("yeast", scale="tiny")
+        sharded = run_closed_loop(svc, "yeast", streams, options=OPTS)
+        assert base.answers == sharded.answers
+
+
 def test_results_digest_order_independent(store):
     svc = make_service()
     rep = run_closed_loop(
