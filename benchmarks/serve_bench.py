@@ -41,10 +41,19 @@ DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_service.json"
 
 
 def _bench_serve(out: str, **cli_args) -> dict:
-    """One ``repro bench-serve`` run; returns the JSON payload."""
+    """One ``repro bench-serve`` run; returns the JSON payload.
+
+    Boolean values become bare flags (``True`` -> ``--flag``, ``False``
+    dropped), so ``no_routing=True`` / ``decision_only=True`` pass
+    through as ``--no-routing`` / ``--decision-only``.
+    """
     argv = ["bench-serve", "--out", out]
     for flag, value in cli_args.items():
-        argv += [f"--{flag.replace('_', '-')}", str(value)]
+        name = f"--{flag.replace('_', '-')}"
+        if value is True:
+            argv.append(name)
+        elif value is not False:
+            argv += [name, str(value)]
     rc = repro_main(argv)
     if rc != 0:
         raise SystemExit(f"bench-serve failed ({rc}): {argv}")
@@ -53,7 +62,13 @@ def _bench_serve(out: str, **cli_args) -> dict:
 
 
 def _sharding_section(args, scale: str, tmpdir: str) -> dict:
-    """Single-catalog vs sharded equivalence run on an FTV collection."""
+    """Single-catalog vs sharded equivalence run on an FTV collection.
+
+    Both runs are **unrouted** (``--no-routing``): this section pins
+    the PR 4 fan-out bit-for-bit, so its digests double as the
+    routing-off regression witness; the ``routing`` section layers the
+    sketch-routed comparisons on top.
+    """
     common = dict(
         dataset=args.shard_dataset,
         scale=scale,
@@ -66,7 +81,10 @@ def _sharding_section(args, scale: str, tmpdir: str) -> dict:
     )
     single = _bench_serve(f"{tmpdir}/single.json", shards=1, **common)
     sharded = _bench_serve(
-        f"{tmpdir}/sharded.json", shards=args.shards, **common
+        f"{tmpdir}/sharded.json",
+        shards=args.shards,
+        no_routing=True,
+        **common,
     )
     if single["killed"] or sharded["killed"]:
         # killed answers are execution-dependent (that is why they are
@@ -108,6 +126,156 @@ def _sharding_section(args, scale: str, tmpdir: str) -> dict:
     }
 
 
+def _routing_section(args, scale: str, tmpdir: str, sharding: dict) -> dict:
+    """Sketch-routed vs unrouted fan-outs on the sharded collection.
+
+    Two comparisons, both digest-checked:
+
+    * **full mode** — one routed run of exactly the sharding section's
+      workload; its ``answers_digest`` must be bit-for-bit the
+      single-catalog and unrouted-sharded digests (pruning soundness);
+    * **decision mode** — a heavier closed loop (the contention routing
+      exists for) run unrouted vs routed; ``decisions_digest`` must
+      match while the routed run spends fewer wasted fan-out steps and
+      no more p95 latency.
+    """
+    # the sharding section's exact workload (its config already names
+    # the shard count), re-run with routing on (the CLI default)
+    full = _bench_serve(
+        f"{tmpdir}/routed_full.json", **sharding["config"]
+    )
+    decision = dict(
+        dataset=args.shard_dataset,
+        scale=scale,
+        queries=60 if args.quick else 120,
+        tenants=args.tenants,
+        workers=args.workers,
+        concurrency=6,
+        budget=args.budget,
+        seed=args.seed,
+        shards=args.shards,
+        decision_only=True,
+    )
+    unrouted = _bench_serve(
+        f"{tmpdir}/dec_unrouted.json", no_routing=True, **decision
+    )
+    routed = _bench_serve(f"{tmpdir}/dec_routed.json", **decision)
+    if full["killed"] or unrouted["killed"] or routed["killed"]:
+        # a budget-killed shard race merges killed=True, but a shard
+        # *cancelled* by a sibling's first-true contributes no outcome
+        # at all — so under a killing budget the routed and unrouted
+        # killed bits (hashed by both digests) legitimately diverge;
+        # like the sharding section, the equivalence runs must not
+        # kill anything.  This check must precede every digest compare
+        # so a too-tight budget reads as "raise the budget", not as a
+        # phantom soundness failure.
+        raise SystemExit(
+            f"--budget {args.budget} kills queries (full="
+            f"{full['killed']}, unrouted={unrouted['killed']}, "
+            f"routed={routed['killed']}); raise the budget for the "
+            "routing equivalence section"
+        )
+    if full["answers_digest"] != sharding["single"]["answers_digest"]:
+        raise SystemExit(
+            "routed sharded answers diverged from single-catalog: "
+            f"{full['answers_digest']} != "
+            f"{sharding['single']['answers_digest']}"
+        )
+    if unrouted["decisions_digest"] != routed["decisions_digest"]:
+        raise SystemExit(
+            "routed decision answers diverged: "
+            f"{routed['decisions_digest']} != "
+            f"{unrouted['decisions_digest']}"
+        )
+    if routed["fanout_waste"] >= unrouted["fanout_waste"]:
+        raise SystemExit(
+            f"routing did not cut fan-out waste: "
+            f"{routed['fanout_waste']} >= {unrouted['fanout_waste']}"
+        )
+    p95_unrouted = unrouted["latency_steps"]["p95"]
+    p95_routed = routed["latency_steps"]["p95"]
+    if p95_routed > p95_unrouted:
+        raise SystemExit(
+            f"routed decision p95 regressed: "
+            f"{p95_routed} > {p95_unrouted}"
+        )
+    def trim(payload):
+        return {
+            "decisions_digest": payload["decisions_digest"],
+            "fanout_waste": payload["fanout_waste"],
+            "per_shard_work": payload["per_shard_work"],
+            "latency_steps": payload["latency_steps"],
+            "routing": payload["routing"],
+        }
+    return {
+        "config": decision,
+        "answers_equal": True,
+        "full_answers_digest": full["answers_digest"],
+        "p95_unrouted": p95_unrouted,
+        "p95_routed": p95_routed,
+        "fanout_waste_unrouted": unrouted["fanout_waste"],
+        "fanout_waste_routed": routed["fanout_waste"],
+        "waste_cut": (
+            1 - routed["fanout_waste"] / unrouted["fanout_waste"]
+            if unrouted["fanout_waste"]
+            else 0.0
+        ),
+        "unrouted": trim(unrouted),
+        "routed": trim(routed),
+    }
+
+
+def _rebalance_section(args, scale: str, tmpdir: str, sharding: dict) -> dict:
+    """Skewed-assignment run with online rebalancing, digest-checked.
+
+    The workload is the sharding section's, but loaded with the
+    size-blind ``hash`` assignment so per-shard bills skew; the
+    rebalancer migrates graphs at quiesce points mid-run.  Post-
+    migration answers must be bit-for-bit the single-catalog answers.
+    """
+    common = sharding["config"] | {
+        "shards": args.shards,
+        "assignment": "hash",
+        "no_routing": True,
+    }
+    skewed = _bench_serve(f"{tmpdir}/skewed.json", **common)
+    rebalanced = _bench_serve(
+        f"{tmpdir}/rebalanced.json",
+        rebalance=True,
+        rebalance_every=max(1, common["queries"] // 4),
+        **common,
+    )
+    if skewed["killed"] or rebalanced["killed"]:
+        raise SystemExit(
+            f"--budget {args.budget} kills queries (skewed="
+            f"{skewed['killed']}, rebalanced={rebalanced['killed']}); "
+            "raise the budget for the rebalance equivalence section"
+        )
+    for name, payload in (("skewed", skewed), ("rebalanced", rebalanced)):
+        if payload["answers_digest"] != sharding["single"]["answers_digest"]:
+            raise SystemExit(
+                f"{name} answers diverged from single-catalog: "
+                f"{payload['answers_digest']} != "
+                f"{sharding['single']['answers_digest']}"
+            )
+    moves = rebalanced["rebalance"]["migrations"]
+    if not moves:
+        raise SystemExit(
+            "the skewed workload triggered no migration; the "
+            "rebalance section is not exercising anything"
+        )
+    return {
+        "config": common,
+        "answers_equal": True,
+        "migrations": moves,
+        "rebalances": rebalanced["rebalance"]["rebalances"],
+        "per_shard_work_skewed": skewed["per_shard_work"],
+        "per_shard_work_rebalanced": rebalanced["per_shard_work"],
+        "p95_skewed": skewed["latency_steps"]["p95"],
+        "p95_rebalanced": rebalanced["latency_steps"]["p95"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -144,22 +312,35 @@ def main(argv=None) -> int:
     )
     with tempfile.TemporaryDirectory() as tmpdir:
         payload["sharding"] = _sharding_section(args, scale, tmpdir)
+        payload["routing"] = _routing_section(
+            args, scale, tmpdir, payload["sharding"]
+        )
+        payload["rebalance"] = _rebalance_section(
+            args, scale, tmpdir, payload["sharding"]
+        )
     payload["quick"] = args.quick
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
     # well-formedness gate: the CI smoke job relies on these keys
     for key in ("throughput", "latency_steps", "result_cache", "digest",
-                "answers_digest", "sharding"):
+                "answers_digest", "decisions_digest", "fanout_waste",
+                "per_shard_work", "sharding", "routing", "rebalance"):
         if key not in payload:
             raise SystemExit(f"BENCH_service.json missing {key!r}")
     for pct in ("p50", "p95", "p99"):
         if pct not in (payload["latency_steps"] or {}):
             raise SystemExit(f"latency summary missing {pct!r}")
     sh = payload["sharding"]
+    rt = payload["routing"]
+    rb = payload["rebalance"]
     print(
         f"BENCH_service.json OK (digest {payload['digest']}; "
         f"sharded answers {sh['sharded']['answers_digest']} == single, "
-        f"p95 {sh['p95_single']} -> {sh['p95_sharded']} steps)"
+        f"p95 {sh['p95_single']} -> {sh['p95_sharded']} steps; "
+        f"routing waste {rt['fanout_waste_unrouted']} -> "
+        f"{rt['fanout_waste_routed']}, decision p95 "
+        f"{rt['p95_unrouted']} -> {rt['p95_routed']}; "
+        f"{len(rb['migrations'])} graphs rebalanced)"
     )
     return 0
 

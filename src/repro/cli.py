@@ -383,6 +383,8 @@ def _build_service(args: argparse.Namespace):
         plan_seeding=args.plan_seeding,
         coalesce=not args.no_coalesce,
         shards=args.shards,
+        routing=args.routing,
+        assignment=args.assignment,
     )
     service.load_dataset(
         args.dataset,
@@ -436,7 +438,26 @@ def _serve_options(args: argparse.Namespace):
     return QueryOptions(
         algorithms=tuple(args.algorithms.split(",")),
         rewritings=tuple(args.rewritings.split(",")),
+        decision_only=args.decision_only,
     )
+
+
+def _build_rebalancer(service, args: argparse.Namespace):
+    """The Rebalancer + quiesce cadence for ``--rebalance`` runs."""
+    from .service import Rebalancer
+
+    if args.rebalance_every < 0:
+        raise SystemExit("--rebalance-every must be >= 0")
+    if not args.rebalance:
+        if args.rebalance_every:
+            raise SystemExit(
+                "--rebalance-every needs --rebalance"
+            )
+        return None, 0
+    if args.shards < 2:
+        raise SystemExit("--rebalance needs --shards >= 2")
+    every = args.rebalance_every or max(1, args.queries // 4)
+    return Rebalancer(service, min_window_steps=512), every
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -444,16 +465,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import run_closed_loop
 
     service, streams = _build_service(args)
+    rebalancer, every = _build_rebalancer(service, args)
     report = run_closed_loop(
         service,
         args.dataset,
         streams,
         options=_serve_options(args),
         concurrency=args.concurrency,
+        rebalancer=rebalancer,
+        rebalance_every=every,
     )
     payload = report.as_json()
     shard_note = (
-        f", {args.shards} shards" if args.shards > 1 else ""
+        f", {args.shards} shards"
+        + ("" if args.routing else " (unrouted)")
+        if args.shards > 1
+        else ""
     )
     table = Table(
         f"serve: {sum(len(s) for s in streams.values())} queries on "
@@ -483,6 +510,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"virtual time {payload['throughput']['virtual_steps']} steps; "
         f"total work {report.service_stats['work_steps']} steps"
     )
+    if args.shards > 1:
+        routing = payload["routing"]
+        _print(
+            f"per-shard work {payload['per_shard_work']}; fan-out "
+            f"waste {payload['fanout_waste']} steps; routed "
+            f"{routing['routed']} (pruned {routing['shards_pruned']}, "
+            f"waves skipped {routing['waves_skipped']})"
+        )
+    if payload["rebalance"]:
+        reb = payload["rebalance"]
+        _print(
+            f"rebalance: {reb['rebalances']} rebalances, "
+            f"{len(reb['migrations'])} graphs migrated"
+        )
     _print(f"results digest {payload['digest']}")
     if args.verbose:
         for t in report.completed:
@@ -502,12 +543,15 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     from .service import run_closed_loop
 
     service, streams = _build_service(args)
+    rebalancer, every = _build_rebalancer(service, args)
     report = run_closed_loop(
         service,
         args.dataset,
         streams,
         options=_serve_options(args),
         concurrency=args.concurrency,
+        rebalancer=rebalancer,
+        rebalance_every=every,
         config={
             "dataset": args.dataset,
             "scale": args.scale,
@@ -515,6 +559,10 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             "tenants": args.tenants,
             "workers": args.workers,
             "shards": args.shards,
+            "routing": args.routing,
+            "assignment": args.assignment,
+            "decision_only": args.decision_only,
+            "rebalance": args.rebalance,
             "concurrency": args.concurrency,
             "budget": args.budget,
             "seed": args.seed,
@@ -657,6 +705,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=int, default=1,
                        help="catalog shards; each gets its own worker "
                             "pool and queries fan out across them")
+        p.add_argument("--routing", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="sketch-routed fan-outs: prune provably-"
+                            "empty shards and stage decision queries "
+                            "in expected-first-true wave order "
+                            "(--no-routing = the PR 4 full fan-out)")
+        p.add_argument("--assignment", default="size_balanced",
+                       choices=("size_balanced", "hash"),
+                       help="initial shard assignment strategy")
+        p.add_argument("--decision-only", action="store_true",
+                       help="existence answers only: sweeps stop at "
+                            "the first match and the first true shard "
+                            "settles the query")
+        p.add_argument("--rebalance", action="store_true",
+                       help="migrate graphs off hot shards at quiesce "
+                            "points when per-shard step bills skew")
+        p.add_argument("--rebalance-every", type=int, default=0,
+                       help="completions between quiesce checks "
+                            "(0 = queries/4)")
         p.add_argument("--concurrency", type=int, default=1,
                        help="closed-loop in-flight queries per tenant")
         p.add_argument("--max-in-flight", type=int, default=4,

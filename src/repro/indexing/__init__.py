@@ -29,9 +29,14 @@ from .features import (
 )
 from .ggsx import GGSXIndex
 from .grapes import GrapesIndex
+from .sketch import SKETCH_TIERS, FeatureSketch, bucket_of, tier_index
 from .trie import PathTrie, Posting, SuffixTrie
 
 __all__ = [
+    "FeatureSketch",
+    "SKETCH_TIERS",
+    "bucket_of",
+    "tier_index",
     "FTVIndex",
     "FTVQueryResult",
     "VerificationReport",

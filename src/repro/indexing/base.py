@@ -111,7 +111,6 @@ class FTVIndex(ABC):
         self.graphs = list(graphs)
         self.max_path_length = max_path_length
         self._verifier = VF2Matcher()
-        self._graph_indexes: dict[int, GraphIndex] = {}
         #: shared label interner: the trie and every census speak codes
         self.interner = LabelInterner(g.labels for g in graphs)
         #: namespace token for this index's query-census memo entries
@@ -371,12 +370,15 @@ class FTVIndex(ABC):
     # ------------------------------------------------------------------
 
     def graph_index(self, graph_id: int) -> GraphIndex:
-        """Cached per-stored-graph VF2 index."""
-        index = self._graph_indexes.get(graph_id)
-        if index is None:
-            index = self._verifier.prepare(self.graphs[graph_id])
-            self._graph_indexes[graph_id] = index
-        return index
+        """Cached per-stored-graph VF2 index.
+
+        Memoized solely through :data:`repro.caching.prepare_cache`
+        (graph-side storage): reuse shows up in the cache's hit
+        counters instead of being swallowed by a private dict, and a
+        catalog eviction that drops the graph's memo entries actually
+        frees the index instead of leaving a shadow copy here.
+        """
+        return self._verifier.prepare(self.graphs[graph_id])
 
     def _decision_outcome(
         self,

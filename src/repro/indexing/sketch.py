@@ -1,0 +1,186 @@
+"""Per-shard feature sketches for shard-aware query routing.
+
+A sharded catalog fans a decision query out to every shard that holds
+graphs, even when most shards provably cannot contain a match — each
+such shard still pays census + filter + race-build work.  The routing
+layer avoids that by keeping, per shard, a **count-threshold bitmask
+sketch** of the shard's FTV posting lists: a constant-size summary that
+can *prove* "no graph on this shard survives this query's filter"
+without touching the shard's trie.
+
+Sketch format
+-------------
+The feature space is hashed into ``num_buckets`` buckets
+(:func:`bucket_of`, a deterministic multiplicative mix — never
+``hash()``, which varies across platforms).  Each bucket holds one int
+whose bit ``i`` means: *some* feature hashing to this bucket occurs at
+least :data:`SKETCH_TIERS`\\ ``[i]`` times in *some* graph of the
+shard.  Tiers are powers of two, so a feature observed with maximum
+per-graph count ``c`` sets bits ``0..tier_index(c)`` — every bucket
+mask is downward-closed.
+
+Soundness
+---------
+The filter keeps a graph iff, for **every** query feature ``f`` with
+census count ``n``, the graph contains ``f`` at least ``n`` times.
+Let ``t* = tier_index(n)`` (the largest tier ``<= n``).  If the bucket
+bit ``t*`` for ``f`` is **clear**, then no feature in that bucket —
+in particular ``f`` itself, whether indexed on the shard or absent —
+reaches ``SKETCH_TIERS[t*] <= n`` occurrences in any shard graph, so
+``mask_ge(f, n)`` is zero and the shard's candidate set is empty:
+pruning the shard cannot change any answer.  If the bit is set the
+shard *may* answer (a colliding feature or a count between tiers can
+set it spuriously), so collisions and tier gaps only ever weaken
+pruning, never its soundness.  ``tests/test_routing.py`` drives this
+adversarially (one-bucket sketches, unknown labels, cross-shard code
+spaces).
+
+Code spaces
+-----------
+Each shard's :class:`~repro.indexing.features.LabelInterner` codes only
+its own labels, so shard-local feature codes are not comparable across
+shards.  Sketches are therefore built in a **collection-wide** code
+space: the builder recodes each shard feature through a label-preserving
+``recode`` map before hashing.  Both interners assign codes in the same
+natural label sort order, so recoding is monotone and the canonical
+path direction is preserved; :func:`canonical_sequence` is re-applied
+anyway as cheap insurance for exotic label sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from .features import canonical_sequence
+
+__all__ = [
+    "SKETCH_TIERS",
+    "DEFAULT_SKETCH_BUCKETS",
+    "tier_index",
+    "bucket_of",
+    "FeatureSketch",
+]
+
+#: occurrence-count thresholds, one bitmask bit each (powers of two)
+SKETCH_TIERS: tuple[int, ...] = tuple(1 << i for i in range(16))
+
+#: default bucket count — 256 ints keep a sketch a few KB per shard
+DEFAULT_SKETCH_BUCKETS = 256
+
+_MASK64 = (1 << 64) - 1
+
+
+def tier_index(count: int) -> int:
+    """Index of the largest tier ``<= count`` (``count`` must be >= 1).
+
+    Counts beyond the top tier saturate at the last index — the sketch
+    can then no longer distinguish them, which only costs pruning
+    tightness, never soundness.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return min(count.bit_length() - 1, len(SKETCH_TIERS) - 1)
+
+
+def bucket_of(seq: tuple, num_buckets: int) -> int:
+    """Deterministic bucket of a coded feature sequence.
+
+    A multiplicative mix over the int codes — *not* Python's ``hash``,
+    whose tuple mixing differs between 32- and 64-bit builds; routing
+    decisions feed step bills and latencies, which the bench digests
+    require to be identical across machines.
+    """
+    h = 0x345678
+    for code in seq:
+        h = ((h * 1000003) ^ (code & _MASK64)) & _MASK64
+    return h % num_buckets
+
+
+class FeatureSketch:
+    """Count-threshold bitmask summary of one shard's posting lists."""
+
+    __slots__ = ("buckets", "num_buckets", "graph_count", "feature_count")
+
+    def __init__(
+        self,
+        buckets: tuple[int, ...],
+        graph_count: int,
+        feature_count: int,
+    ) -> None:
+        self.buckets = buckets
+        self.num_buckets = len(buckets)
+        self.graph_count = graph_count
+        self.feature_count = feature_count
+
+    @classmethod
+    def from_postings(
+        cls,
+        items: Iterable[tuple[tuple, Mapping[int, object]]],
+        recode: Mapping[int, int],
+        graph_count: int,
+        num_buckets: int = DEFAULT_SKETCH_BUCKETS,
+    ) -> "FeatureSketch":
+        """Fold ``(shard-coded seq, posting map)`` pairs into a sketch.
+
+        ``items`` is what :meth:`repro.indexing.trie.PathTrie.iter_postings`
+        yields; ``recode`` maps the shard's label codes to the
+        collection-wide codes the router's query census uses.  Each
+        feature contributes its **maximum per-graph count** — the
+        quantity ``mask_ge`` thresholds on.
+        """
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        buckets = [0] * num_buckets
+        features = 0
+        for seq, postings in items:
+            if not postings:
+                continue
+            features += 1
+            coded = canonical_sequence(
+                tuple(recode[code] for code in seq)
+            )
+            best = max(p.count for p in postings.values())
+            buckets[bucket_of(coded, num_buckets)] |= (
+                1 << (tier_index(best) + 1)
+            ) - 1
+        return cls(tuple(buckets), graph_count, features)
+
+    def score(self, counts: Mapping[tuple, int]) -> Optional[tuple[int, int]]:
+        """Expected-hit score of a query census, or None when pruned.
+
+        ``None`` means *proof*: some query feature's threshold bit is
+        clear, so no graph on this shard can survive the filter.
+        Otherwise the score is ``(min margin, total margin)`` where a
+        feature's margin is how many tiers the shard's sketched maximum
+        clears the needed count by — a shard that barely admits every
+        feature scores below one with room to spare, which is the
+        routing order's expected-first-true heuristic.
+        """
+        buckets = self.buckets
+        num_buckets = self.num_buckets
+        min_margin = len(SKETCH_TIERS)
+        total = 0
+        for seq, needed in counts.items():
+            mask = buckets[bucket_of(seq, num_buckets)]
+            tier = tier_index(needed)
+            if not (mask >> tier) & 1:
+                return None
+            margin = mask.bit_length() - 1 - tier
+            total += margin
+            if margin < min_margin:
+                min_margin = margin
+        return (min_margin, total)
+
+    def admits(self, counts: Mapping[tuple, int]) -> bool:
+        """Whether the shard may hold a filter survivor (sound keep)."""
+        return self.score(counts) is not None
+
+    def as_metrics(self) -> dict:
+        """JSON-ready size/coverage statistics (memory reports)."""
+        return {
+            "buckets": self.num_buckets,
+            "occupied": sum(1 for m in self.buckets if m),
+            "features": self.feature_count,
+            "graphs": self.graph_count,
+        }

@@ -189,11 +189,22 @@ class PathTrie:
 
     def iter_features(self) -> Iterator[LabelSeq]:
         """All indexed sequences that carry postings."""
+        for seq, _ in self.iter_postings():
+            yield seq
+
+    def iter_postings(self) -> Iterator[tuple[LabelSeq, dict[int, "Posting"]]]:
+        """All (sequence, posting map) pairs that carry postings.
+
+        One walk instead of an ``iter_features`` + ``lookup`` pair per
+        feature; this is what the per-shard routing sketch folds over
+        (see :class:`repro.indexing.sketch.FeatureSketch`).  The posting
+        maps are the live node dicts — callers must not mutate them.
+        """
         stack: list[tuple[_Node, LabelSeq]] = [(self._root, ())]
         while stack:
             node, seq = stack.pop()
             if node.postings:
-                yield seq
+                yield seq, node.postings
             for lab, child in node.children.items():
                 stack.append((child, seq + (lab,)))
 

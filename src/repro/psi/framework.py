@@ -92,7 +92,6 @@ class PsiNFV:
         self.overhead = overhead
         self.stats = LabelStats.of_graph(graph)
         self._matchers: dict[str, Matcher] = {}
-        self._indexes: dict[str, GraphIndex] = {}
         self._rewritten: dict[str, RewrittenQuery] = {}
         # the memo's owner is held strongly and compared by identity:
         # an id()-keyed memo would go stale when a dead query's address
@@ -112,12 +111,17 @@ class PsiNFV:
         return m
 
     def prepared(self, algorithm: str) -> GraphIndex:
-        """Cached per-algorithm index of the stored graph."""
-        index = self._indexes.get(algorithm)
-        if index is None:
-            index = self.matcher(algorithm).prepare(self.graph)
-            self._indexes[algorithm] = index
-        return index
+        """Cached per-algorithm index of the stored graph.
+
+        The memo is :data:`repro.caching.prepare_cache` itself (via
+        :meth:`Matcher.prepare`), not a private dict: a second layer
+        would answer reuse silently, leaving the cache's hit counters
+        frozen at the warm-time misses — the "0 hits despite warm
+        indexes" metrics lie the serving bench used to report.  One
+        layer means every reuse registers as a hit and eviction has a
+        single place to invalidate.
+        """
+        return self.matcher(algorithm).prepare(self.graph)
 
     def rewritten(
         self,

@@ -29,7 +29,29 @@ __all__ = [
     "ScheduleOutcome",
     "first_match_schedule",
     "FairShareLedger",
+    "skew_ratio",
 ]
+
+
+def skew_ratio(loads: Sequence[int]) -> float:
+    """Hottest-to-coldest load ratio of a set of workers/shards.
+
+    The rebalancing trigger signal: ``max(loads) / min(loads)`` in the
+    same step-cost currency as every other scheduling decision.  A
+    perfectly balanced set scores 1.0; an idle member alongside a busy
+    one scores ``inf`` (maximally skewed); an entirely idle set scores
+    1.0 (nothing to balance).  Negative loads are a caller bug.
+    """
+    if not loads:
+        return 1.0
+    lo, hi = min(loads), max(loads)
+    if lo < 0:
+        raise ValueError("loads must be non-negative")
+    if hi == 0:
+        return 1.0
+    if lo == 0:
+        return float("inf")
+    return hi / lo
 
 
 @dataclass(frozen=True)

@@ -35,11 +35,14 @@ from .canon import canonical_query_key
 from .catalog import DatasetCatalog, DatasetEntry
 from .dispatcher import Dispatcher, RaceTask
 from .loadgen import LoadReport, replay, run_closed_loop
+from .rebalance import Migration, Rebalancer
+from .routing import RoutePlan, ShardRouter
 from .service import (
     QueryOptions,
     Service,
     ServiceResult,
     answers_digest,
+    decisions_digest,
     results_digest,
 )
 from .sharding import (
@@ -56,10 +59,14 @@ __all__ = [
     "DatasetEntry",
     "Dispatcher",
     "LoadReport",
+    "Migration",
     "QueryOptions",
     "RaceTask",
+    "Rebalancer",
     "ResultCache",
+    "RoutePlan",
     "Service",
+    "ShardRouter",
     "ServiceResult",
     "ShardedCatalog",
     "ShardedEntry",
@@ -69,6 +76,7 @@ __all__ = [
     "answers_digest",
     "assign_shards",
     "canonical_query_key",
+    "decisions_digest",
     "merge_shard_outcomes",
     "replay",
     "results_digest",

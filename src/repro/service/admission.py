@@ -90,8 +90,15 @@ class Ticket:
     #: raced a plan-cache/advisor-seeded variant subset, not the full set
     plan_seeded: bool = False
     #: shard races this ticket fanned out into (0 until dispatched;
-    #: 1 on an unsharded catalog)
+    #: 1 on an unsharded catalog).  With routing on this counts only
+    #: the *surviving* fan-out — admission charges nothing for shards
+    #: the router pruned or skipped.
     fanout: int = 0
+    #: shards the router proved empty and excluded from the fan-out
+    pruned: int = 0
+    #: shards never raced because an earlier routed wave settled the
+    #: decision first
+    skipped: int = 0
     reject_reason: str = ""
 
     @property

@@ -59,6 +59,9 @@ class Dispatcher:
         self.ticks = 0
         #: total engine-steps executed across all races (work, not time)
         self.work_steps = 0
+        #: per-pool engine-step bills — the per-shard load signal the
+        #: rebalancer watches (pool_work[p] sums over the races pool p ran)
+        self.pool_work = [0] * pools
         self._active: dict[object, RaceTask] = {}
         #: token -> pool index the race is pinned to
         self._pool_of: dict[object, int] = {}
@@ -127,6 +130,7 @@ class Dispatcher:
             slots[pool] -= need
             outcome = race.round()
             self.work_steps += race.last_round_steps
+            self.pool_work[pool] += race.last_round_steps
             if outcome is not None:
                 del self._active[token]
                 del self._pool_of[token]

@@ -37,6 +37,7 @@ from .service import (
     QueryOptions,
     Service,
     answers_digest,
+    decisions_digest,
     results_digest,
 )
 
@@ -56,6 +57,12 @@ class LoadReport:
     #: digest over decision answers only (sharding-invariant — equal
     #: for sharded and unsharded runs of the same workload)
     answers: str = ""
+    #: digest over existence answers only (additionally invariant
+    #: under shard routing for decision_only workloads, where the
+    #: witness sets behind ``answers`` legitimately differ)
+    decisions: str = ""
+    #: rebalancer summary when a Rebalancer rode along (else empty)
+    rebalance: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[Ticket]:
@@ -88,6 +95,7 @@ class LoadReport:
             "config": self.config,
             "digest": self.digest,
             "answers_digest": self.answers,
+            "decisions_digest": self.decisions,
             #: budget-killed queries; their answers are execution-
             #: dependent, so answers_digest is only layout-invariant
             #: when this is 0 in both runs being compared
@@ -114,6 +122,13 @@ class LoadReport:
             "result_cache": self.service_stats["result_cache"],
             "prepare_cache": self.service_stats["prepare_cache"],
             "admission": self.service_stats["admission"],
+            #: per-shard (pool) step bills — the skew signal
+            "per_shard_work": self.service_stats["per_shard_work"],
+            #: steps billed to shard races that contributed nothing to
+            #: their merged outcome (what routing exists to shrink)
+            "fanout_waste": self.service_stats["fanout_waste"],
+            "routing": self.service_stats["routing"],
+            "rebalance": self.rebalance,
         }
 
 
@@ -122,6 +137,7 @@ def _report(
     tickets: list[Ticket],
     wall_seconds: float,
     config: dict,
+    rebalancer=None,
 ) -> LoadReport:
     done = [t for t in tickets if t.state is TicketState.DONE]
     return LoadReport(
@@ -132,6 +148,10 @@ def _report(
         service_stats=service.stats(),
         config=config,
         answers=answers_digest(done),
+        decisions=decisions_digest(done),
+        rebalance=(
+            rebalancer.summary() if rebalancer is not None else {}
+        ),
     )
 
 
@@ -168,12 +188,20 @@ def run_closed_loop(
     options: QueryOptions | None = None,
     concurrency: int = 1,
     config: dict | None = None,
+    rebalancer=None,
+    rebalance_every: int = 0,
 ) -> LoadReport:
     """Closed-loop load: each tenant keeps ``concurrency`` in flight.
 
     A tenant's next query is submitted the tick its oldest outstanding
     one completes — so measured throughput reflects service capacity,
     the number the ROADMAP's "heavy traffic" goal cares about.
+
+    With a :class:`~repro.service.rebalance.Rebalancer` and
+    ``rebalance_every > 0``, every ``rebalance_every`` completions the
+    generator stops feeding, lets the in-flight queries drain (the
+    quiesce point migrations require), invokes the rebalancer, and
+    resumes — deterministic, like everything else on the virtual clock.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
@@ -198,14 +226,24 @@ def run_closed_loop(
                     continue  # cache hit or rejection: slot still free
                 outstanding[tenant] += 1
 
+    check = rebalancer is not None and rebalance_every > 0
+    since_check = 0
     feed()
     while True:
         finished = service.pump()
         for t in finished:
             outstanding[t.tenant] -= 1
-        if finished:
+        since_check += len(finished)
+        if check and since_check >= rebalance_every:
+            # quiesce: withhold new submissions until in-flight work
+            # drains, then rebalance and resume the closed loop
+            if service.idle:
+                rebalancer.maybe_rebalance()
+                since_check = 0
+                feed()
+        elif finished:
             feed()
         if service.idle and not any(pending.values()):
             break
     wall = time.perf_counter() - start
-    return _report(service, tickets, wall, config or {})
+    return _report(service, tickets, wall, config or {}, rebalancer)

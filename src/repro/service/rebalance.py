@@ -1,0 +1,228 @@
+"""Online shard rebalancing: migrate graphs off hot shards at quiesce.
+
+:func:`repro.service.sharding.assign_shards` balances shards by *size*
+at load time, but served load follows the workload, not the bytes: a
+few popular stored graphs can leave one dispatcher pool billing several
+times the steps of its siblings.  The per-pool step bills
+(:attr:`repro.service.dispatcher.Dispatcher.pool_work`) expose exactly
+that signal, and :class:`Rebalancer` acts on it — at **quiesce points**
+only (the service fully idle, so no fan-out holds references into the
+old layout), it moves whole stored graphs from the hottest shard to the
+coldest through :meth:`repro.service.sharding.ShardedCatalog.reassign`,
+which re-registers just the changed shards (fresh matcher + filter
+indexes), re-folds their routing sketches, and bumps the routing-table
+epoch.
+
+Answer invariance: a migration changes *where* graphs live, never
+*which* graphs exist — filtering is a per-graph predicate and the merge
+maps shard-local ids back to global ids, so ``found`` /
+``num_embeddings`` / ``matching_ids`` of every budget-completed query
+are bit-for-bit identical before and after any sequence of migrations
+(pinned by ``tests/test_routing.py`` and the CI rebalance smoke).
+Bills and latencies are historical and legitimately shift — that is
+the point.
+
+Everything is deterministic: the trigger reads virtual step counters,
+the victim choice is a pure function of (loads, assignment, graph
+sizes), and ties break on ascending shard/graph id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..scheduling import skew_ratio
+from .sharding import ShardedCatalog
+
+__all__ = ["Migration", "Rebalancer"]
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One whole stored graph moved between shards."""
+
+    dataset: str
+    graph_id: int
+    src: int
+    dst: int
+    #: virtual clock at the quiesce point that applied the move
+    clock: int
+
+
+class Rebalancer:
+    """Watches per-shard step bills; migrates graphs when they skew.
+
+    Parameters
+    ----------
+    service:
+        A sharded :class:`~repro.service.Service`.
+    skew_threshold:
+        Hottest/coldest bill ratio (since the last rebalance) above
+        which a migration is attempted.  1.0 rebalances on any
+        imbalance; the 1.25 default ignores noise-level skew.
+    min_window_steps:
+        Minimum total steps billed since the last rebalance before the
+        skew signal is trusted at all — a handful of queries is not a
+        load profile.
+    max_moves:
+        Whole-graph moves per quiesce point, across all datasets.
+        Small on purpose: each move re-registers two shards, and a
+        persistent skew will trigger again at the next quiesce.
+    """
+
+    def __init__(
+        self,
+        service,
+        skew_threshold: float = 1.25,
+        min_window_steps: int = 2_048,
+        max_moves: int = 2,
+    ) -> None:
+        if not isinstance(service.catalog, ShardedCatalog):
+            raise ValueError("rebalancing needs a sharded catalog")
+        if skew_threshold < 1.0:
+            raise ValueError("skew_threshold must be >= 1.0")
+        if max_moves < 1:
+            raise ValueError("max_moves must be >= 1")
+        self.service = service
+        self.skew_threshold = skew_threshold
+        self.min_window_steps = min_window_steps
+        self.max_moves = max_moves
+        #: pool_work snapshot at the last rebalance (window baseline)
+        self._baseline = list(service.dispatcher.pool_work)
+        #: graph_bills snapshot at the last rebalance (per-graph window)
+        self._graph_baseline = dict(service.graph_bills)
+        #: every migration applied, in order
+        self.migrations: list[Migration] = []
+        #: quiesce checks that actually moved at least one graph
+        self.rebalances = 0
+        #: quiesce checks that found no actionable skew
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # signal
+    # ------------------------------------------------------------------
+
+    def window_loads(self) -> list[int]:
+        """Per-shard steps billed since the last rebalance."""
+        return [
+            work - base
+            for work, base in zip(
+                self.service.dispatcher.pool_work, self._baseline
+            )
+        ]
+
+    def skew(self) -> float:
+        """Current hottest/coldest ratio over the window."""
+        return skew_ratio(self.window_loads())
+
+    # ------------------------------------------------------------------
+    # action
+    # ------------------------------------------------------------------
+
+    def maybe_rebalance(self) -> list[Migration]:
+        """Migrate if (and only if) quiesced, warmed up, and skewed.
+
+        Returns the migrations applied this call (empty when nothing
+        moved).  Never raises on a busy service — rebalancing is an
+        opportunistic background concern, so a non-idle service simply
+        means "not now".
+        """
+        service = self.service
+        if not service.idle:
+            return []
+        loads = self.window_loads()
+        if sum(loads) < self.min_window_steps:
+            self.skipped += 1
+            return []
+        if skew_ratio(loads) < self.skew_threshold:
+            self.skipped += 1
+            return []
+        hot = max(range(len(loads)), key=lambda s: (loads[s], -s))
+        cold = min(range(len(loads)), key=lambda s: (loads[s], s))
+        applied = self._migrate(hot, cold, loads)
+        if applied:
+            self.rebalances += 1
+            self._baseline = list(service.dispatcher.pool_work)
+            self._graph_baseline = dict(service.graph_bills)
+        else:
+            self.skipped += 1
+        return applied
+
+    def graph_window(self, dataset: str, graph_id: int) -> int:
+        """One stored graph's verification steps since the last rebalance."""
+        key = (dataset, graph_id)
+        return self.service.graph_bills.get(
+            key, 0
+        ) - self._graph_baseline.get(key, 0)
+
+    def _migrate(
+        self, hot: int, cold: int, loads: list[int]
+    ) -> list[Migration]:
+        """Move graphs hot -> cold while each move shrinks the gap.
+
+        Victim choice runs on the service's **per-graph step bills**
+        (:attr:`repro.service.service.Service.graph_bills`, filled by
+        the FTV sweeps), not a size proxy: when one graph of a
+        size-balanced shard is hot, its observed window load is what
+        must move.  A graph migrates only while its window load is
+        strictly below the remaining hot-cold gap (the move strictly
+        narrows it — no oscillation), hottest graph first, id as
+        tie-break; an unbilled graph never moves (no signal, no churn).
+        """
+        catalog: ShardedCatalog = self.service.catalog
+        gap = loads[hot] - loads[cold]
+        applied: list[Migration] = []
+        for name in catalog.datasets():
+            if len(applied) >= self.max_moves:
+                break
+            entry = catalog.get(name)
+            if entry.kind != "ftv":
+                continue
+            hot_ids = list(entry.assignment[hot])
+            if len(hot_ids) < 2:
+                continue  # never empty a shard below one graph
+            window = {g: self.graph_window(name, g) for g in hot_ids}
+            moved: list[int] = []
+            for gid in sorted(hot_ids, key=lambda g: (-window[g], g)):
+                if len(applied) + len(moved) >= self.max_moves:
+                    break
+                if len(hot_ids) - len(moved) < 2:
+                    break
+                share = window[gid]
+                if share <= 0:
+                    break  # remaining graphs carry no observed load
+                if share >= gap:
+                    continue  # would overshoot: gap would not shrink
+                moved.append(gid)
+                gap -= 2 * share
+            if not moved:
+                continue
+            assignment = [list(ids) for ids in entry.assignment]
+            for gid in moved:
+                assignment[hot].remove(gid)
+                assignment[cold].append(gid)
+            catalog.reassign(name, assignment)
+            clock = self.service.clock
+            applied.extend(
+                Migration(name, gid, hot, cold, clock) for gid in moved
+            )
+        self.migrations.extend(applied)
+        return applied
+
+    def summary(self) -> dict:
+        """JSON-ready counters for bench payloads and stats."""
+        return {
+            "rebalances": self.rebalances,
+            "skipped_checks": self.skipped,
+            "migrations": [
+                {
+                    "dataset": m.dataset,
+                    "graph_id": m.graph_id,
+                    "src": m.src,
+                    "dst": m.dst,
+                    "clock": m.clock,
+                }
+                for m in self.migrations
+            ],
+            "window_loads": self.window_loads(),
+        }

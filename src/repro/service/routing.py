@@ -1,0 +1,215 @@
+"""Shard-aware query routing: prune and order a sharded fan-out.
+
+PR 4's sharded serving fans every query out to every shard holding
+graphs; each shard then pays census + filter + race work even when its
+partition provably contains no candidate.  The router makes the fan-out
+itself cheap: one collection-wide query census, probed against each
+shard's :class:`~repro.indexing.sketch.FeatureSketch`, decides per
+shard in O(query features) int operations whether the shard can answer
+at all — and, for decision-only queries, how *likely* it is to answer
+first.
+
+The contract (proven in ``tests/test_routing.py``):
+
+* **Pruning is sound.**  A shard is pruned only when its sketch proves
+  the query's filter would return zero candidates there (see the
+  soundness argument in :mod:`repro.indexing.sketch`); since FTV
+  filtering is a per-graph predicate, a pruned shard contributes
+  ``found=False`` / zero embeddings / no ids to the merge — exactly
+  nothing — so ``found`` / ``num_embeddings`` / ``matching_ids`` are
+  bit-for-bit what the unrouted fan-out produces.  When *every* shard
+  is prunable (e.g. a query label unknown to the whole collection) the
+  plan keeps the lowest involved shard as a witness so the service
+  still races and answers through the normal pipeline.
+* **Ordering is a heuristic, never a semantic.**  For decision-only
+  queries surviving shards are ordered by descending sketch score
+  (shard id breaks ties), so the expected-first-true shard races first;
+  in full mode every surviving shard runs and the order is ascending
+  shard id, exactly the unrouted order.
+* **Everything is deterministic.**  Sketches, censuses, scores, and
+  orders are pure functions of (collection, assignment, query); the
+  ``epoch`` counter only bumps when a rebalance changes the assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..graphs import LabeledGraph
+from ..indexing import FTVIndex, LabelInterner
+from ..indexing.features import PathCensus, coded_path_census
+from ..indexing.sketch import DEFAULT_SKETCH_BUCKETS, FeatureSketch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sharding import ShardedEntry
+
+__all__ = ["RoutePlan", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """One query's routed fan-out over a sharded entry.
+
+    ``order`` are the shards to race, in race order; ``pruned`` are the
+    shards whose sketches proved them empty for this query (skipped
+    entirely — no ticket token, no RaceTask, no admission charge);
+    ``staged`` asks the service to race ``order`` as waves (first shard
+    alone, then the rest) instead of gang-dispatching everything.
+    """
+
+    order: tuple[int, ...]
+    pruned: tuple[int, ...] = ()
+    staged: bool = False
+
+    @property
+    def width(self) -> int:
+        """Shards this plan will actually race."""
+        return len(self.order)
+
+
+class ShardRouter:
+    """Per-entry routing state: global interner + per-shard sketches.
+
+    Built by :class:`~repro.service.sharding.ShardedCatalog` when an
+    FTV entry is loaded; :meth:`refresh` re-folds one shard's sketch
+    whenever that shard's partition is (re-)registered, so eviction
+    reloads and rebalance migrations keep the sketches honest.
+    """
+
+    def __init__(
+        self,
+        entry: "ShardedEntry",
+        num_buckets: int = DEFAULT_SKETCH_BUCKETS,
+    ) -> None:
+        self.entry = entry
+        self.num_buckets = num_buckets
+        #: collection-wide label codes — the census space every shard's
+        #: sketch is recoded into
+        self.interner = LabelInterner(g.labels for g in entry.graphs)
+        self.max_path_length = entry.max_path_length
+        #: shard -> sketch (absent = shard holds no graphs)
+        self.sketches: dict[int, FeatureSketch] = {}
+        #: routing-table version; bumped by rebalance reassignments so
+        #: operators (and tests) can see the table moved
+        self.epoch = 0
+        #: namespace token for the per-query census memo entries
+        self._census_token = object()
+
+    # ------------------------------------------------------------------
+    # sketch lifecycle
+    # ------------------------------------------------------------------
+
+    def refresh(self, shard: int, index: Optional[FTVIndex]) -> None:
+        """(Re-)fold ``shard``'s sketch from its warm filter index."""
+        if index is None:
+            self.sketches.pop(shard, None)
+            return
+        recode = {
+            code: self.interner.code_of[label]
+            for label, code in index.interner.code_of.items()
+        }
+        self.sketches[shard] = FeatureSketch.from_postings(
+            index.trie.iter_postings(),
+            recode,
+            graph_count=len(index.graphs),
+            num_buckets=self.num_buckets,
+        )
+
+    def bump(self) -> int:
+        """Advance the routing-table epoch (rebalance bookkeeping)."""
+        self.epoch += 1
+        return self.epoch
+
+    # ------------------------------------------------------------------
+    # query side
+    # ------------------------------------------------------------------
+
+    def query_census(self, query: LabeledGraph) -> PathCensus:
+        """The query's census in the collection-wide code space.
+
+        Memoized per query instance through the prepare cache (the same
+        convention as :meth:`repro.indexing.base.FTVIndex.coded_query_census`),
+        so re-planning a coalesced or re-staged query is free.  Unknown
+        labels get fresh negative codes — they can never collide with
+        an indexed feature, which is what :meth:`plan` keys on.
+        """
+        from ..caching import prepare_cache
+
+        return prepare_cache.get(
+            query,
+            ("route-census", self._census_token, self.max_path_length),
+            lambda: coded_path_census(
+                query,
+                self.max_path_length,
+                self.interner.encode_vertices(query.labels),
+            ),
+        )
+
+    def plan(
+        self,
+        query: LabeledGraph,
+        involved: tuple[int, ...],
+        decision_only: bool = False,
+    ) -> RoutePlan:
+        """Route one query over ``involved`` shards.
+
+        Full mode races every surviving shard in ascending shard order
+        (pruning only); decision mode orders survivors by descending
+        sketch score and stages them as waves so the expected-first-true
+        shard races alone first.
+        """
+        if len(involved) <= 1:
+            return RoutePlan(order=tuple(involved))
+        counts = self.query_census(query).counts
+        if any(code < 0 for seq in counts for code in seq):
+            # a query label the whole collection has never seen: every
+            # shard's filter is provably empty; keep the lowest shard
+            # as the witness race so the answer flows through the
+            # normal merge/caching pipeline
+            return RoutePlan(
+                order=involved[:1], pruned=tuple(involved[1:])
+            )
+        survivors: list[tuple[int, tuple[int, int]]] = []
+        pruned: list[int] = []
+        for shard in involved:
+            sketch = self.sketches.get(shard)
+            if sketch is None:
+                # no sketch = no proof: fail closed and race the
+                # shard (pruning is only ever justified by a veto)
+                survivors.append((shard, (0, 0)))
+                continue
+            score = sketch.score(counts)
+            if score is None:
+                pruned.append(shard)
+            else:
+                survivors.append((shard, score))
+        if not survivors:
+            return RoutePlan(
+                order=(pruned[0],), pruned=tuple(pruned[1:])
+            )
+        if decision_only:
+            survivors.sort(
+                key=lambda item: (-item[1][0], -item[1][1], item[0])
+            )
+            order = tuple(s for s, _ in survivors)
+            return RoutePlan(
+                order=order,
+                pruned=tuple(pruned),
+                staged=len(order) > 1,
+            )
+        return RoutePlan(
+            order=tuple(s for s, _ in survivors),
+            pruned=tuple(pruned),
+        )
+
+    def as_metrics(self) -> dict:
+        """Routing-table snapshot for memory/stats reports."""
+        return {
+            "epoch": self.epoch,
+            "labels": len(self.interner),
+            "sketches": {
+                str(shard): sketch.as_metrics()
+                for shard, sketch in sorted(self.sketches.items())
+            },
+        }

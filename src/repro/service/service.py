@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..graphs import LabeledGraph
@@ -57,6 +57,7 @@ __all__ = [
     "Service",
     "results_digest",
     "answers_digest",
+    "decisions_digest",
 ]
 
 
@@ -160,6 +161,25 @@ def answers_digest(tickets: list[Ticket]) -> str:
     return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
 
 
+def decisions_digest(tickets: list[Ticket]) -> str:
+    """Order-independent digest of a workload's *existence answers*.
+
+    The invariant for ``decision_only`` workloads: in decision mode
+    only ``found`` is answer-contractual (``matching_ids`` may be any
+    witness subset, so :func:`answers_digest` legitimately differs
+    between layouts and between routed and unrouted fan-outs), and this
+    digest hashes exactly ``found`` plus the ``killed`` taint.  Routed,
+    unrouted, sharded, and single-catalog runs of the same decision
+    workload must all agree on it whenever nothing was budget-killed.
+    """
+    lines = sorted(
+        f"{t.tenant}/{t.query.name}:{int(r.found)}:{int(r.killed)}"
+        for t in tickets
+        if isinstance((r := t.result), ServiceResult)
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
+
+
 @dataclass
 class _FanoutState:
     """Merge bookkeeping for one ticket's per-shard races.
@@ -167,12 +187,26 @@ class _FanoutState:
     ``id_maps[shard]`` translates the shard's local graph ids to global
     ids (None = identity); ``cancelled`` records shards whose remaining
     budget a first-true decision revoked (they contribute no outcome).
+    ``waves`` holds routed shard groups not yet dispatched (decision
+    ordering races the expected-first-true shard alone, then the
+    rest); ``skipped`` records shards whose wave never started because
+    an earlier wave settled the decision; ``work`` accumulates each
+    shard race's billed steps for the fan-out-waste counter.
     """
 
     pending: set
     outcomes: dict
     id_maps: dict
     cancelled: list
+    waves: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    work: dict = field(default_factory=dict)
+    #: virtual clock at which the next wave hedge-launches even though
+    #: the current wave is still racing (None = no waves deferred)
+    hedge_at: Optional[int] = None
+    #: router epoch at plan time — deferred waves refuse to launch
+    #: against a layout that changed under them (None = no waves)
+    epoch: Optional[int] = None
 
 
 class Service:
@@ -190,6 +224,9 @@ class Service:
         coalesce: bool = True,
         advisor: Optional[VariantAdvisor] = None,
         shards: int = 1,
+        routing: bool = True,
+        assignment: str = "size_balanced",
+        hedge_ticks: int = 1,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -197,13 +234,28 @@ class Service:
             self.catalog = catalog
         elif shards > 1:
             self.catalog = ShardedCatalog(
-                num_shards=shards, overhead=overhead
+                num_shards=shards,
+                overhead=overhead,
+                assignment=assignment,
             )
         else:
             self.catalog = DatasetCatalog(overhead=overhead)
         #: fan queries out across catalog shards (each shard gets its
         #: own worker pool of ``workers`` slots)
         self.sharded = isinstance(self.catalog, ShardedCatalog)
+        #: consult per-shard feature sketches before fanning out:
+        #: provably-empty shards are pruned from the fan-out and
+        #: decision-only fan-outs race in expected-first-true wave
+        #: order.  Off = bit-for-bit the unrouted fan-out.
+        self.routing = routing and self.sharded
+        #: ticks a routed decision wave races alone before the next
+        #: wave hedge-launches anyway: the fast common case (the
+        #: expected-first-true shard settles within the hedge) never
+        #: pays sibling work, while a slow first wave falls back to
+        #: near-parallel racing instead of serialising the tail
+        if hedge_ticks < 1:
+            raise ValueError("hedge_ticks must be >= 1")
+        self.hedge_ticks = hedge_ticks
         pools = self.catalog.num_shards if self.sharded else 1
         if shards > 1 and pools != shards:
             raise ValueError(
@@ -236,12 +288,27 @@ class Service:
         self._followers: dict[int, list[Ticket]] = {}
         #: admitted-but-not-yet-dispatched (fan-out waiting for slots)
         self._staged: list[int] = []
-        #: staged ticket.id -> its built per-shard races + id maps
-        self._staged_races: dict[int, tuple[dict, dict]] = {}
+        #: staged ticket.id -> (first-wave races, id maps, later waves)
+        self._staged_races: dict[int, tuple[dict, dict, list]] = {}
         #: ticket.id -> in-flight fan-out merge state
         self._fanout: dict[int, _FanoutState] = {}
         #: sibling shard races cancelled by a first-true decision
         self.shard_cancelled = 0
+        #: queries whose fan-out went through the shard router
+        self.routed_queries = 0
+        #: shard races never built because a sketch proved them empty
+        self.shards_pruned = 0
+        #: shard races never built because an earlier wave settled the
+        #: decision first (routed decision-only fan-outs)
+        self.waves_skipped = 0
+        #: virtual steps billed to shard races that contributed nothing
+        #: to their merged outcome (fan-outs of >= 2 raced shards only)
+        self.fanout_waste = 0
+        #: (dataset, global graph id) -> verification steps billed to
+        #: that stored graph across every FTV sweep — the per-graph
+        #: load attribution the rebalancer migrates on (a size proxy
+        #: cannot see that one graph of a balanced shard is hot)
+        self.graph_bills: dict[tuple, int] = {}
         self.completed_count = 0
         # sliding window: stats() reports the most recent completions,
         # so a long-lived service doesn't grow (or re-sort) its whole
@@ -465,11 +532,15 @@ class Service:
         entry: DatasetEntry,
         options: QueryOptions,
         variants: tuple,
+        id_map: Optional[tuple] = None,
     ) -> tuple[RaceTask, dict]:
         """Engines + RaceTask for one admitted ticket.
 
         ``variants`` is the set chosen at submit time — the full
-        portfolio, or a plan/advisor-seeded subset.
+        portfolio, or a plan/advisor-seeded subset.  ``id_map``
+        translates shard-local graph ids to global ids (None =
+        identity) so the FTV sweep can bill verification steps to the
+        right global graph.
         """
         budget = Budget(max_steps=ticket.budget_steps)
         if entry.kind == "nfv":
@@ -493,7 +564,8 @@ class Service:
             }
         else:
             engines = self._ftv_engines(
-                entry, ticket.query, options, variants
+                entry, ticket.query, options, variants,
+                dataset=ticket.dataset, id_map=id_map,
             )
         race = RaceTask(
             engines,
@@ -509,27 +581,73 @@ class Service:
         entry,
         options: QueryOptions,
         variants: tuple,
-    ) -> tuple[dict, dict]:
-        """Per-shard races + local->global id maps for one ticket.
+    ) -> tuple[dict, dict, list]:
+        """First-wave races + id maps + deferred waves for one ticket.
 
         The unsharded service is the degenerate fan-out: one race on
         pool 0 with an identity id map, whose outcome later passes
         through :func:`merge_shard_outcomes` untouched — so both
         layouts run the same pump loop.
+
+        With routing on, a sharded FTV fan-out is first planned by the
+        entry's :class:`~repro.service.routing.ShardRouter`: shards
+        whose sketch proves them empty are pruned *before* any filter
+        or engine work happens (no ticket token, no RaceTask, nothing
+        charged), and a decision-only fan-out is staged into waves —
+        the expected-first-true shard races alone, the remaining
+        shards are built and dispatched only if it misses.  Routing
+        off (or an NFV / unsharded entry) takes exactly the pre-routing
+        path.
         """
         if not isinstance(entry, ShardedEntry):
             race, _ = self._build_race(ticket, entry, options, variants)
-            return {0: race}, {0: None}
+            return {0: race}, {0: None}, []
+        involved = entry.involved_shards()
+        waves: list[tuple[int, ...]] = []
+        if (
+            self.routing
+            and entry.router is not None
+            and len(involved) > 1
+        ):
+            plan = entry.router.plan(
+                ticket.query, involved, options.decision_only
+            )
+            self.routed_queries += 1
+            self.shards_pruned += len(plan.pruned)
+            ticket.pruned = len(plan.pruned)
+            first = plan.order
+            if plan.staged:
+                first = plan.order[:1]
+                waves = [plan.order[1:]]
+        else:
+            first = involved
         races: dict[int, RaceTask] = {}
         id_maps: dict[int, Optional[tuple]] = {}
-        for shard in entry.involved_shards():
-            sub = entry.shard_entry(shard)
-            race, _ = self._build_race(ticket, sub, options, variants)
-            races[shard] = race
-            id_maps[shard] = (
-                None if entry.kind == "nfv" else entry.shard_ids(shard)
+        for shard in sorted(first):
+            races[shard], id_maps[shard] = self._build_shard_race(
+                ticket, entry, options, variants, shard
             )
-        return races, id_maps
+        return races, id_maps, waves
+
+    def _build_shard_race(
+        self,
+        ticket: Ticket,
+        entry: "ShardedEntry",
+        options: QueryOptions,
+        variants: tuple,
+        shard: int,
+    ) -> tuple[RaceTask, Optional[tuple]]:
+        """One shard's race + local->global id map (fan-out and waves
+        share this, so race construction can never diverge between a
+        first wave and a deferred one)."""
+        sub = entry.shard_entry(shard)
+        id_map = (
+            None if entry.kind == "nfv" else entry.shard_ids(shard)
+        )
+        race, _ = self._build_race(
+            ticket, sub, options, variants, id_map
+        )
+        return race, id_map
 
     def _ftv_engines(
         self,
@@ -537,6 +655,8 @@ class Service:
         query: LabeledGraph,
         options: QueryOptions,
         variants: tuple,
+        dataset: Optional[str] = None,
+        id_map: Optional[tuple] = None,
     ) -> dict:
         """One composite engine per rewriting, sweeping all candidates.
 
@@ -553,24 +673,50 @@ class Service:
                 query, entry.stats
             )
             engines[variant] = self._ftv_sweep(
-                index, rq.graph, list(candidates), options.decision_only
+                index, rq.graph, list(candidates),
+                options.decision_only, dataset, id_map,
             )
         return engines
 
-    def _ftv_sweep(self, index, query_graph, candidates, decision_only):
+    def _ftv_sweep(
+        self, index, query_graph, candidates, decision_only,
+        dataset=None, id_map=None,
+    ):
         """Generator engine: first-match VF2 over each candidate.
 
         With ``decision_only`` the sweep settles at its first matching
         graph — the existence answer — instead of verifying the rest.
+        Every yielded step batch is additionally billed to its stored
+        graph's global id in :attr:`graph_bills` (the rebalancer's
+        per-graph load signal); the forwarding loop yields exactly what
+        ``yield from`` would, so step semantics are untouched.
         """
         matched: list[int] = []
+        bills = self.graph_bills
         for gid in candidates:
-            out = yield from self._verifier.engine(
+            key = (dataset, gid if id_map is None else id_map[gid])
+            gen = self._verifier.engine(
                 index.graph_index(gid),
                 query_graph,
                 max_embeddings=1,
                 count_only=True,
             )
+            consumed = 0
+            try:
+                while True:
+                    try:
+                        inc = next(gen)
+                    except StopIteration as stop:
+                        out = stop.value
+                        break
+                    consumed += 1 if inc is None else inc
+                    yield inc
+            finally:
+                # one dict update per candidate, in a finally so a
+                # budget kill mid-candidate still bills partial work
+                gen.close()
+                if consumed:
+                    bills[key] = bills.get(key, 0) + consumed
             if out.found:
                 matched.append(gid)
                 if decision_only:
@@ -592,16 +738,31 @@ class Service:
             for shard, race in races.items()
         )
 
-    def _dispatch(self, ticket: Ticket, races: dict, id_maps: dict) -> None:
-        """Attach one ticket's fan-out to the per-shard pools."""
+    def _dispatch(
+        self, ticket: Ticket, races: dict, id_maps: dict, waves: list
+    ) -> None:
+        """Attach one ticket's (first-wave) fan-out to the pools."""
         tid = ticket.id
         for shard in sorted(races):
             self.dispatcher.admit((tid, shard), races[shard], pool=shard)
+        entry = self._open[tid][1]
+        router = getattr(entry, "router", None)
         self._fanout[tid] = _FanoutState(
             pending=set(races),
             outcomes={},
             id_maps=id_maps,
             cancelled=[],
+            waves=list(waves),
+            hedge_at=(
+                self.clock + self.hedge_ticks * self.dispatcher.quantum
+                if waves
+                else None
+            ),
+            epoch=(
+                router.epoch
+                if waves and router is not None
+                else None
+            ),
         )
         ticket.start_time = self.clock
         ticket.fanout = len(races)
@@ -619,7 +780,7 @@ class Service:
                 # staged tickets (admitted, waiting for width) go first
                 tid = self._staged[0]
                 ticket = self._open[tid][0]
-                races, id_maps = self._staged_races[tid]
+                races, id_maps, waves = self._staged_races[tid]
                 if not self._fits(races):
                     return  # head-of-line: wait for the pools to drain
                 self._staged.pop(0)
@@ -635,14 +796,14 @@ class Service:
                     return
                 tid = ticket.id
                 _, entry, options, _, variants = self._open[tid]
-                races, id_maps = self._build_races(
+                races, id_maps, waves = self._build_races(
                     ticket, entry, options, variants
                 )
                 if not self._fits(races):
                     self._staged.append(tid)
-                    self._staged_races[tid] = (races, id_maps)
+                    self._staged_races[tid] = (races, id_maps, waves)
                     return
-            self._dispatch(ticket, races, id_maps)
+            self._dispatch(ticket, races, id_maps, waves)
 
     def _priority_order(self) -> list:
         """Fair-share order over active race tokens ((tid, shard)).
@@ -665,6 +826,48 @@ class Service:
 
         return sorted(self.dispatcher.tokens(), key=rank)
 
+    def _advance_wave(self, tid: int, state: _FanoutState) -> None:
+        """Build + dispatch the next routed wave of a staged fan-out.
+
+        Wave races are built lazily — this is the whole point of the
+        staging: a shard whose wave never starts pays neither filter
+        nor engine work.  The new races join their pools mid-flight;
+        a full pool simply delays them a tick (the dispatcher bounds
+        work per tick, not admissions), which deterministically
+        backpressures new gang admissions until the wave drains.
+
+        Lazy building reads the *live* assignment, so a rebalance
+        slipping in mid-flight (a caller violating the quiesce
+        contract) would silently race the wrong partition under the
+        plan-time id maps — the epoch check turns that into a loud
+        error instead.
+        """
+        group = state.waves.pop(0)
+        ticket, entry, options, _key, variants = self._open[tid]
+        if (
+            entry.router is not None
+            and state.epoch is not None
+            and entry.router.epoch != state.epoch
+        ):
+            raise RuntimeError(
+                f"dataset {ticket.dataset!r} was reassigned while "
+                f"ticket {tid} had waves in flight; rebalancing is "
+                "only sound at quiesce points"
+            )
+        for shard in sorted(group):
+            race, id_map = self._build_shard_race(
+                ticket, entry, options, variants, shard
+            )
+            self.dispatcher.admit((tid, shard), race, pool=shard)
+            state.pending.add(shard)
+            state.id_maps[shard] = id_map
+        ticket.fanout += len(group)
+        state.hedge_at = (
+            self.clock + self.hedge_ticks * self.dispatcher.quantum
+            if state.waves
+            else None
+        )
+
     def _on_shard_done(
         self, tid: int, shard: int, outcome: RaceOutcome,
         options: QueryOptions,
@@ -674,26 +877,70 @@ class Service:
         First-true short-circuit: in decision-only mode a shard that
         found a match settles the query, so the siblings' remaining
         budget is cancelled (their partial work stays charged — it was
-        really done).  Returns the merged outcome once no shard is
-        pending, else None.
+        really done) and any not-yet-started routed waves are dropped
+        outright (they were never built, so they cost nothing).  A
+        routed wave that completes without a match hands over to the
+        next wave instead of merging.  Returns the merged outcome once
+        no shard is pending or deferred, else None.
         """
         state = self._fanout[tid]
         state.pending.discard(shard)
         state.outcomes[shard] = outcome
-        if options.decision_only and outcome.found and state.pending:
-            for sibling in sorted(state.pending):
-                self.dispatcher.cancel((tid, sibling))
-                state.cancelled.append(sibling)
-                self.shard_cancelled += 1
-            state.pending.clear()
+        if options.decision_only and outcome.found:
+            if state.pending:
+                for sibling in sorted(state.pending):
+                    self.dispatcher.cancel((tid, sibling))
+                    state.cancelled.append(sibling)
+                    self.shard_cancelled += 1
+                state.pending.clear()
+            if state.waves:
+                skipped = [s for group in state.waves for s in group]
+                state.skipped.extend(skipped)
+                state.waves.clear()
+                self.waves_skipped += len(skipped)
+                ticket = self._open[tid][0]
+                ticket.skipped = len(state.skipped)
         if state.pending:
             return None
+        if state.waves:
+            self._advance_wave(tid, state)
+            return None
         del self._fanout[tid]
+        self._account_waste(state)
         return merge_shard_outcomes(state.outcomes, state.id_maps)
+
+    def _account_waste(self, state: _FanoutState) -> None:
+        """Bill non-contributing shard races to ``fanout_waste``.
+
+        A shard race "contributed" iff it found a match; in a fan-out
+        that raced at least two shards, every step billed to matchless
+        (or cancelled) shard races is work the merged outcome never
+        used — the quantity routing exists to shrink.  Single-race
+        fan-outs (unsharded, NFV, or routed down to one shard) have no
+        siblings to waste.
+        """
+        raced = len(state.outcomes) + len(state.cancelled)
+        if raced < 2:
+            return
+        for s, work in state.work.items():
+            race = state.outcomes.get(s)
+            if race is None or not race.found:
+                self.fanout_waste += work
 
     def pump(self) -> list[Ticket]:
         """One scheduling tick; returns tickets completed this tick
         (coalesced followers resolve alongside their leader)."""
+        # hedge overdue routed waves before admitting new work: a
+        # first wave that has raced ``hedge_ticks`` without settling
+        # forfeits its head start and the remaining shards join in
+        for tid in sorted(self._fanout):
+            state = self._fanout[tid]
+            if (
+                state.waves
+                and state.hedge_at is not None
+                and self.clock >= state.hedge_at
+            ):
+                self._advance_wave(tid, state)
         self._admit()
         if self.dispatcher.active == 0:
             return []
@@ -702,8 +949,12 @@ class Service:
         # are still open — a shard whose sibling settles the query this
         # same tick still really did its final round
         for token, work, _outcome in events:
-            ticket = self._open[token[0]][0]
+            tid, shard = token
+            ticket = self._open[tid][0]
             self.admission.charge(ticket.tenant, work)
+            state = self._fanout.get(tid)
+            if state is not None:
+                state.work[shard] = state.work.get(shard, 0) + work
         completed: list[Ticket] = []
         for token, _work, outcome in events:
             if outcome is None:
@@ -852,6 +1103,15 @@ class Service:
             "active": self.dispatcher.active,
             "shards": self.dispatcher.pools,
             "shard_cancelled": self.shard_cancelled,
+            "per_shard_work": list(self.dispatcher.pool_work),
+            "fanout_waste": self.fanout_waste,
+            "routing": {
+                "enabled": self.routing,
+                "routed": self.routed_queries,
+                "shards_pruned": self.shards_pruned,
+                "waves_skipped": self.waves_skipped,
+                "shard_cancelled": self.shard_cancelled,
+            },
             "latency_steps": latency,
             "admission": self.admission.stats(),
             "result_cache": self.cache.as_metrics(),

@@ -47,6 +47,14 @@ settles the query — the service cancels the sibling shards' remaining
 budget, mirroring the paper's race where the first finisher kills the
 losers.  In the default full mode every shard completes so the merged
 ``matching_ids`` stay bit-for-bit complete.
+
+Routing rides on top: each FTV entry carries a
+:class:`~repro.service.routing.ShardRouter` whose per-shard feature
+sketches let the service prune provably-empty shards from the fan-out
+and order decision fan-outs (see :mod:`repro.service.routing`), and
+:meth:`ShardedCatalog.reassign` migrates whole graphs between shards
+at quiesce points (:mod:`repro.service.rebalance`) — both preserving
+the answer invariants above.
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ from ..matching import MatchOutcome
 from ..psi.executors import OverheadModel, RaceOutcome
 from ..rewriting import LabelStats
 from .catalog import DatasetCatalog, DatasetEntry
+from .routing import ShardRouter
 
 __all__ = [
     "assign_shards",
@@ -148,11 +157,18 @@ class ShardedEntry:
     #: the single shard holding an NFV entry's stored graph
     home_shard: int
     _catalog: "ShardedCatalog"
+    #: per-shard sketch router (FTV entries only; None = unroutable)
+    router: Optional[ShardRouter] = None
 
     @property
     def num_shards(self) -> int:
         """Shard count of the owning catalog."""
         return len(self.assignment)
+
+    @property
+    def max_path_length(self) -> int:
+        """The entry's FTV feature path length (census configuration)."""
+        return self._register_config[3]
 
     def involved_shards(self) -> tuple[int, ...]:
         """Shards that hold at least one graph (fan-out targets)."""
@@ -219,6 +235,10 @@ class ShardedCatalog:
         ]
         #: transparent re-registrations of watermark-evicted partitions
         self.reloads = 0
+        #: completed :meth:`reassign` calls (rebalance bookkeeping)
+        self.reassignments = 0
+        #: whole stored graphs moved between shards across all reassigns
+        self.migrated_graphs = 0
         self._entries: dict[str, ShardedEntry] = {}
 
     # ------------------------------------------------------------------
@@ -282,6 +302,8 @@ class ShardedCatalog:
         entry._register_config = (
             scale, tuple(algorithms), ftv_method, max_path_length
         )
+        if kind == "ftv":
+            entry.router = ShardRouter(entry)
         self._entries[name] = entry
         for shard in entry.involved_shards():
             self._register_shard(entry, shard)
@@ -290,11 +312,17 @@ class ShardedCatalog:
     def _register_shard(
         self, entry: ShardedEntry, shard: int
     ) -> DatasetEntry:
-        """(Re-)register one partition on its shard catalog."""
+        """(Re-)register one partition on its shard catalog.
+
+        Every (re-)registration also re-folds the shard's routing
+        sketch from the fresh filter index, so watermark-eviction
+        reloads and rebalance migrations can never leave a stale
+        sketch behind.
+        """
         scale, algorithms, ftv_method, max_path_length = (
             entry._register_config
         )
-        return self.shards[shard].register(
+        sub = self.shards[shard].register(
             entry.name,
             [entry.graphs[g] for g in entry.assignment[shard]],
             kind=entry.kind,
@@ -303,6 +331,9 @@ class ShardedCatalog:
             ftv_method=ftv_method,
             max_path_length=max_path_length,
         )
+        if entry.router is not None:
+            entry.router.refresh(shard, sub.ftv_index)
+        return sub
 
     def get(self, name: str) -> ShardedEntry:
         """The sharded entry for ``name`` (KeyError when never loaded)."""
@@ -331,6 +362,69 @@ class ShardedCatalog:
             self.reloads += 1
             return self._register_shard(entry, shard)
 
+    def reassign(
+        self,
+        name: str,
+        assignment: Sequence[Sequence[int]],
+    ) -> tuple[int, ...]:
+        """Migrate ``name``'s graphs to a new shard assignment.
+
+        The quiesce-point migration primitive behind
+        :class:`~repro.service.rebalance.Rebalancer`: callers must
+        guarantee no query is mid-flight against this entry (the
+        service's ``idle`` property).  Whole stored graphs move between
+        shards — only the shards whose partitions actually changed are
+        unloaded and re-registered (fresh matcher indexes, filter
+        indexes, and routing sketches), the rest keep their warm state.
+        The new assignment must be a permutation-free re-partition of
+        exactly the same global graph ids; anything else raises before
+        any shard is touched.
+
+        Returns the changed shard ids (empty when the assignment is
+        already in place).  Answers are invariant under reassignment
+        for the same reason they are invariant under sharding at all:
+        filtering is a per-graph predicate, and the merge maps local
+        ids back to global ids.
+        """
+        entry = self.get(name)
+        if entry.kind != "ftv":
+            raise ValueError(
+                f"dataset {name!r} is not a collection; NFV entries "
+                "live whole on their home shard"
+            )
+        new = tuple(tuple(sorted(ids)) for ids in assignment)
+        if len(new) != self.num_shards:
+            raise ValueError(
+                f"assignment has {len(new)} shards; catalog has "
+                f"{self.num_shards}"
+            )
+        flat = sorted(g for ids in new for g in ids)
+        if flat != list(range(len(entry.graphs))):
+            raise ValueError(
+                "assignment must cover every graph id exactly once"
+            )
+        old = entry.assignment
+        changed = tuple(
+            s for s in range(self.num_shards) if new[s] != old[s]
+        )
+        if not changed:
+            return ()
+        moved = sum(
+            len(set(new[s]) - set(old[s])) for s in changed
+        )
+        entry.assignment = new
+        for shard in changed:
+            self.shards[shard].unload(name)
+            if new[shard]:
+                self._register_shard(entry, shard)
+            elif entry.router is not None:
+                entry.router.refresh(shard, None)
+        if entry.router is not None:
+            entry.router.bump()
+        self.reassignments += 1
+        self.migrated_graphs += moved
+        return changed
+
     def unload(self, name: str) -> None:
         """Drop a dataset from every shard (explicit, final)."""
         self._entries.pop(name, None)
@@ -352,12 +446,19 @@ class ShardedCatalog:
             "reloads": (
                 self.reloads + sum(r["reloads"] for r in per)
             ),
+            "reassignments": self.reassignments,
+            "migrated_graphs": self.migrated_graphs,
             "datasets": {
                 name: {
                     "kind": e.kind,
                     "graphs_per_shard": [
                         len(ids) for ids in e.assignment
                     ],
+                    **(
+                        {"routing": e.router.as_metrics()}
+                        if e.router is not None
+                        else {}
+                    ),
                 }
                 for name, e in sorted(self._entries.items())
             },
