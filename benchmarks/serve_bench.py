@@ -15,6 +15,12 @@ p95 latency is no worse.  ``results_digest`` covers historical bills
 (steps, winners, latencies) and legitimately differs between layouts;
 ``answers_digest`` is the sharding-invariant one that must match.
 
+A ``chaos`` section re-runs the same workload on a replicated layout
+(``--replicas`` per shard) under a seeded fault plan — replica kills,
+a pool wedge, a mid-flight task failure — and asserts the failure
+model's invariant: chaos answers bit-for-bit equal healthy answers,
+zero lost tickets, zero degraded refusals, at least one rerouted leg.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/serve_bench.py            # full
@@ -276,6 +282,79 @@ def _rebalance_section(args, scale: str, tmpdir: str, sharding: dict) -> dict:
     }
 
 
+def _chaos_section(args, scale: str, tmpdir: str, sharding: dict) -> dict:
+    """Replicated chaos run, digest-checked against healthy serving.
+
+    The sharding section's workload runs twice on a replicated layout
+    (``--replicas``): once healthy, once with the seeded fault plan
+    (replica kills, a pool wedge, a mid-flight task failure).  The
+    failure-model invariant under test: every budget-completed answer
+    of the chaos run is bit-for-bit the healthy (and single-catalog)
+    answer, no ticket is lost, nothing degrades to refusal, and at
+    least one leg really was rerouted (the drill drew blood).
+    """
+    common = sharding["config"] | {
+        "shards": args.shards,
+        "replicas": args.replicas,
+        "no_routing": True,
+    }
+    healthy = _bench_serve(f"{tmpdir}/replicated.json", **common)
+    chaos = _bench_serve(
+        f"{tmpdir}/chaos.json",
+        chaos=True,
+        chaos_seed=args.chaos_seed,
+        **common,
+    )
+    if healthy["killed"] or chaos["killed"]:
+        raise SystemExit(
+            f"--budget {args.budget} kills queries (healthy="
+            f"{healthy['killed']}, chaos={chaos['killed']}); raise "
+            "the budget for the chaos equivalence section"
+        )
+    for name, payload in (("healthy", healthy), ("chaos", chaos)):
+        if payload["answers_digest"] != sharding["single"]["answers_digest"]:
+            raise SystemExit(
+                f"{name} replicated answers diverged from "
+                f"single-catalog: {payload['answers_digest']} != "
+                f"{sharding['single']['answers_digest']}"
+            )
+    done_h = healthy["throughput"]["queries"]
+    done_c = chaos["throughput"]["queries"]
+    if done_c != done_h:
+        raise SystemExit(
+            f"chaos run lost completions: {done_c} != {done_h}"
+        )
+    ch = chaos["chaos"]
+    if ch["lost"]:
+        raise SystemExit(f"chaos run lost {ch['lost']} tickets")
+    if ch["degraded"] or ch["degraded_tickets"]:
+        raise SystemExit(
+            "chaos run degraded tickets despite surviving replicas: "
+            f"{ch['degraded']} refusals"
+        )
+    if ch["rerouted"] < 1:
+        raise SystemExit(
+            "the fault plan rerouted no legs; the chaos section is "
+            "not exercising the failure path"
+        )
+    return {
+        "config": common | {"chaos_seed": args.chaos_seed},
+        "answers_equal": True,
+        "injected": ch["injected"],
+        "retries": ch["retries"],
+        "rerouted": ch["rerouted"],
+        "tasks_failed": ch["tasks_failed"],
+        "degraded": ch["degraded"],
+        "lost": ch["lost"],
+        "latency_healthy": ch["latency_healthy"],
+        "latency_chaos": ch["latency_chaos"],
+        "p95_healthy": healthy["latency_steps"]["p95"],
+        "p95_chaos": chaos["latency_steps"]["p95"],
+        "healthy_answers_digest": healthy["answers_digest"],
+        "chaos_answers_digest": chaos["answers_digest"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -291,6 +370,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--shards", type=int, default=2,
                         help="shard count for the sharding section")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="replicas per shard for the chaos section")
+    parser.add_argument("--chaos-seed", type=int, default=1337,
+                        help="seed for the chaos section's fault plan")
     parser.add_argument("--shard-dataset", default="ppi",
                         help="multi-graph collection for the sharding "
                              "section")
@@ -318,13 +401,17 @@ def main(argv=None) -> int:
         payload["rebalance"] = _rebalance_section(
             args, scale, tmpdir, payload["sharding"]
         )
+        payload["chaos"] = _chaos_section(
+            args, scale, tmpdir, payload["sharding"]
+        )
     payload["quick"] = args.quick
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
     # well-formedness gate: the CI smoke job relies on these keys
     for key in ("throughput", "latency_steps", "result_cache", "digest",
                 "answers_digest", "decisions_digest", "fanout_waste",
-                "per_shard_work", "sharding", "routing", "rebalance"):
+                "per_shard_work", "sharding", "routing", "rebalance",
+                "chaos"):
         if key not in payload:
             raise SystemExit(f"BENCH_service.json missing {key!r}")
     for pct in ("p50", "p95", "p99"):
@@ -333,6 +420,7 @@ def main(argv=None) -> int:
     sh = payload["sharding"]
     rt = payload["routing"]
     rb = payload["rebalance"]
+    ch = payload["chaos"]
     print(
         f"BENCH_service.json OK (digest {payload['digest']}; "
         f"sharded answers {sh['sharded']['answers_digest']} == single, "
@@ -340,7 +428,9 @@ def main(argv=None) -> int:
         f"routing waste {rt['fanout_waste_unrouted']} -> "
         f"{rt['fanout_waste_routed']}, decision p95 "
         f"{rt['p95_unrouted']} -> {rt['p95_routed']}; "
-        f"{len(rb['migrations'])} graphs rebalanced)"
+        f"{len(rb['migrations'])} graphs rebalanced; chaos "
+        f"{ch['injected']} faults, {ch['rerouted']} rerouted, "
+        f"answers == healthy)"
     )
     return 0
 

@@ -361,6 +361,8 @@ def _build_service(args: argparse.Namespace):
         raise SystemExit("--concurrency must be >= 1")
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
     width = (
         len(args.rewritings.split(","))
         if args.dataset in FTV_DATASETS
@@ -383,6 +385,7 @@ def _build_service(args: argparse.Namespace):
         plan_seeding=args.plan_seeding,
         coalesce=not args.no_coalesce,
         shards=args.shards,
+        replicas=args.replicas,
         routing=args.routing,
         assignment=args.assignment,
     )
@@ -460,12 +463,38 @@ def _build_rebalancer(service, args: argparse.Namespace):
     return Rebalancer(service, min_window_steps=512), every
 
 
+def _build_faults(args: argparse.Namespace):
+    """The chaos-mode FaultInjector for ``--chaos`` runs (or None).
+
+    Chaos needs somewhere for rerouted legs to land: each shard must
+    keep a surviving replica, so ``--chaos`` requires ``--replicas``
+    of at least 2.
+    """
+    from .service import chaos_plan
+
+    if not args.chaos:
+        return None
+    if args.shards < 2 or args.replicas < 2:
+        raise SystemExit(
+            "--chaos needs --shards >= 2 and --replicas >= 2 (a kill "
+            "must leave a surviving replica to reroute onto)"
+        )
+    return chaos_plan(
+        args.chaos_seed,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        queries=args.queries,
+        horizon=args.chaos_horizon,
+    )
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the serving layer and replay a multi-tenant workload."""
     from .service import run_closed_loop
 
     service, streams = _build_service(args)
     rebalancer, every = _build_rebalancer(service, args)
+    faults = _build_faults(args)
     report = run_closed_loop(
         service,
         args.dataset,
@@ -474,10 +503,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         rebalancer=rebalancer,
         rebalance_every=every,
+        faults=faults,
     )
     payload = report.as_json()
     shard_note = (
         f", {args.shards} shards"
+        + (f" x {args.replicas} replicas" if args.replicas > 1 else "")
         + ("" if args.routing else " (unrouted)")
         if args.shards > 1
         else ""
@@ -524,6 +555,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"rebalance: {reb['rebalances']} rebalances, "
             f"{len(reb['migrations'])} graphs migrated"
         )
+    if payload["chaos"]:
+        ch = payload["chaos"]
+        _print(
+            f"chaos: {ch['injected']} faults injected, "
+            f"{ch['rerouted']} legs rerouted, "
+            f"{ch['degraded']} degraded, {ch['lost']} lost"
+        )
     _print(f"results digest {payload['digest']}")
     if args.verbose:
         for t in report.completed:
@@ -544,6 +582,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
 
     service, streams = _build_service(args)
     rebalancer, every = _build_rebalancer(service, args)
+    faults = _build_faults(args)
     report = run_closed_loop(
         service,
         args.dataset,
@@ -552,6 +591,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         rebalancer=rebalancer,
         rebalance_every=every,
+        faults=faults,
         config={
             "dataset": args.dataset,
             "scale": args.scale,
@@ -559,6 +599,9 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             "tenants": args.tenants,
             "workers": args.workers,
             "shards": args.shards,
+            "replicas": args.replicas,
+            "chaos": args.chaos,
+            "chaos_seed": args.chaos_seed,
             "routing": args.routing,
             "assignment": args.assignment,
             "decision_only": args.decision_only,
@@ -705,6 +748,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--shards", type=int, default=1,
                        help="catalog shards; each gets its own worker "
                             "pool and queries fan out across them")
+        p.add_argument("--replicas", type=int, default=1,
+                       help="warm replicas per shard; each gets its "
+                            "own worker pool and legs land on the "
+                            "least-loaded live one")
+        p.add_argument("--chaos", action="store_true",
+                       help="inject a seeded deterministic fault plan "
+                            "(replica kills, pool wedges, task "
+                            "failures); needs --replicas >= 2")
+        p.add_argument("--chaos-seed", type=int, default=1337,
+                       help="seed for the chaos fault plan")
+        p.add_argument("--chaos-horizon", type=int, default=0,
+                       help="schedule faults on the virtual clock up "
+                            "to this step (0 = schedule on query "
+                            "completions instead)")
         p.add_argument("--routing", default=True,
                        action=argparse.BooleanOptionalAction,
                        help="sketch-routed fan-outs: prune provably-"

@@ -8,7 +8,11 @@ interleaves many Ψ races over bounded simulated worker pools, a
 canonical-form result/plan cache in front of it all, and a sharded
 catalog (``Service(shards=N)``) that partitions collections and fans
 queries out with answers bit-for-bit identical to unsharded serving
-(see :mod:`repro.service.sharding`).
+(see :mod:`repro.service.sharding`).  Shards can carry warm replicas
+(``Service(shards=N, replicas=R)``) with a deterministic fault
+injector (:mod:`repro.service.faults`) proving that replica death,
+pool wedges, and mid-flight task failures never change a
+budget-completed answer.
 
 Quickstart::
 
@@ -34,6 +38,12 @@ from .cache import CachedResult, ResultCache
 from .canon import canonical_query_key
 from .catalog import DatasetCatalog, DatasetEntry
 from .dispatcher import Dispatcher, RaceTask
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    ReplicaState,
+    chaos_plan,
+)
 from .loadgen import LoadReport, replay, run_closed_loop
 from .rebalance import Migration, Rebalancer
 from .routing import RoutePlan, ShardRouter
@@ -58,11 +68,14 @@ __all__ = [
     "DatasetCatalog",
     "DatasetEntry",
     "Dispatcher",
+    "FaultEvent",
+    "FaultInjector",
     "LoadReport",
     "Migration",
     "QueryOptions",
     "RaceTask",
     "Rebalancer",
+    "ReplicaState",
     "ResultCache",
     "RoutePlan",
     "Service",
@@ -76,6 +89,7 @@ __all__ = [
     "answers_digest",
     "assign_shards",
     "canonical_query_key",
+    "chaos_plan",
     "decisions_digest",
     "merge_shard_outcomes",
     "replay",

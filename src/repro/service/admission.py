@@ -99,6 +99,17 @@ class Ticket:
     #: shards never raced because an earlier routed wave settled the
     #: decision first
     skipped: int = 0
+    #: fan-out legs re-admitted after a replica death or task failure
+    #: (bounded by the service's ``max_retries``)
+    retries: int = 0
+    #: refused because a shard lost every replica (or retries ran out):
+    #: the service returns no partial answers, so the ticket resolves
+    #: REJECTED with this mark and a ``retry_after`` hint instead
+    degraded: bool = False
+    #: virtual clock after which the client should retry — set on
+    #: degraded tickets and on queue-full admission rejections (the
+    #: protocol-style backpressure answer)
+    retry_after: Optional[int] = None
     reject_reason: str = ""
 
     @property
@@ -121,9 +132,13 @@ class AdmissionController:
         self,
         default_policy: TenantPolicy = TenantPolicy(),
         policies: Optional[dict[str, TenantPolicy]] = None,
+        backoff_steps: int = 2_048,
     ) -> None:
         self.default_policy = default_policy
         self.policies = dict(policies or {})
+        #: retry-after horizon (virtual steps) stamped on queue-full
+        #: rejections so shed clients know when to come back
+        self.backoff_steps = backoff_steps
         self.ledger = FairShareLedger()
         self._queues: dict[str, list[Ticket]] = {}
         self._in_flight: dict[str, int] = {}
@@ -185,6 +200,7 @@ class AdmissionController:
             ticket.reject_reason = (
                 f"queue full ({policy.max_queued} queued)"
             )
+            ticket.retry_after = ticket.submit_time + self.backoff_steps
             ticket.finish_time = ticket.submit_time
             self.rejected += 1
             return ticket
@@ -222,6 +238,7 @@ class AdmissionController:
             ticket.reject_reason = (
                 f"coalesce backlog full ({policy.max_queued} attached)"
             )
+            ticket.retry_after = ticket.submit_time + self.backoff_steps
             ticket.finish_time = ticket.submit_time
             self.rejected += 1
             return ticket

@@ -377,6 +377,37 @@ class DatasetCatalog:
             ftv_method, max_path_length, config,
         )
 
+    def adopt(self, entry: DatasetEntry) -> DatasetEntry:
+        """Install an already-built ``entry`` without rebuilding it.
+
+        The replica-sharing hook:
+        :class:`repro.service.sharding.ShardedCatalog` warms one
+        replica of a shard partition through :meth:`register` and
+        adopts the same frozen entry object on the shard's sibling
+        replicas.  Sharing is sound because entries are frozen after
+        warm-up (``verify_frozen`` checks, not trusts) and the prepare
+        cache keys matcher indexes per graph *object*, so replicas
+        share warm artifacts transparently instead of paying the build
+        N times.  Adopting a name this catalog already holds is
+        idempotent when it is the same entry object (same
+        ``load_config`` and identity); anything else raises like a
+        conflicting re-load.
+        """
+        existing = self._existing(entry.name, entry.load_config)
+        if existing is not None:
+            if existing is not entry:
+                raise ValueError(
+                    f"dataset {entry.name!r} already installed from a "
+                    "different build; unload it before adopting"
+                )
+            return existing
+        entry.verify_frozen()
+        self._entries[entry.name] = entry
+        self._evicted_configs.pop(entry.name, None)
+        self._touch(entry.name)
+        self._maybe_evict(protect=entry.name)
+        return entry
+
     def get(self, name: str) -> DatasetEntry:
         """The loaded entry for ``name`` (KeyError when never loaded).
 

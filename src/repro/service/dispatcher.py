@@ -66,6 +66,16 @@ class Dispatcher:
         #: token -> pool index the race is pinned to
         self._pool_of: dict[object, int] = {}
 
+    def add_pool(self) -> int:
+        """Grow the dispatcher by one worker pool (replica scale-out).
+
+        Existing pools, races, and bills are untouched; the new pool
+        starts empty with a zero bill.  Returns the new pool's index.
+        """
+        self.pools += 1
+        self.pool_work.append(0)
+        return self.pools - 1
+
     def admit(self, token: object, race: RaceTask, pool: int = 0) -> None:
         """Attach a race to ``pool`` under an opaque ``token``.
 
@@ -104,7 +114,7 @@ class Dispatcher:
         )
 
     def tick(
-        self, order: list
+        self, order: list, frozen: frozenset = frozenset()
     ) -> list[tuple[object, int, Optional[RaceOutcome]]]:
         """One scheduling quantum over every pool.
 
@@ -112,7 +122,10 @@ class Dispatcher:
         fair-share order); unknown tokens are ignored, active tokens
         missing from ``order`` run last in admission order.  Each pool
         spends its own ``workers`` slots on the races pinned to it, in
-        the shared priority order.  Returns one
+        the shared priority order.  ``frozen`` pools (wedged replicas —
+        see :mod:`repro.service.faults`) run nothing this tick: their
+        races keep all state and simply stall, which is exactly a
+        straggler.  Returns one
         ``(token, work_steps_this_tick, outcome_or_None)`` event per
         race that ran this tick (outcome set when it finished); the
         shared clock advances by one quantum.
@@ -124,6 +137,8 @@ class Dispatcher:
         for token in sequence:
             race = self._active[token]
             pool = self._pool_of[token]
+            if pool in frozen:
+                continue
             need = max(1, race.width)
             if slots[pool] < need:
                 continue

@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the replicated serving layer.
+
+The paper's whole premise is robustness-through-redundancy: PSI races
+query rewritings and alternative algorithms in parallel precisely so a
+straggling or pathological execution cannot stall a query.  The
+serving layer applies the same discipline to *infrastructure*: every
+shard carries N replica worker pools, and this module makes replica
+failure a first-class, testable event instead of an accident.
+
+Three injection kinds, all driven off the service's **virtual clock**
+(or, equivalently deterministic, its completion counter):
+
+* ``kill`` — a replica dies permanently.  Every fan-out leg racing on
+  it is lost mid-flight; the service re-admits each lost leg against a
+  surviving replica of the same shard under the same ticket (bounded
+  retries), and new work never lands on the corpse.
+* ``wedge`` — a replica's pool freezes for K ticks (the classic
+  straggler).  Races on it stall but are not lost; the replica is
+  ``suspect`` while wedged, so new placements prefer live siblings,
+  and it returns to ``live`` when the wedge expires.
+* ``fail_task`` — one in-flight :class:`RaceTask` leg aborts (a
+  simulated worker crash).  The leg restarts from scratch on the
+  least-loaded live replica, which may be the same one.
+
+The invariant that makes chaos testable (pinned by
+``tests/test_faults.py`` and the CI ``chaos-smoke`` job): because
+engines are deterministic generators and a restarted leg re-runs its
+race from step zero with the ticket's full budget, **every
+budget-completed query of a chaos run answers bit-for-bit what the
+healthy run answers** (``answers_digest`` equality).  Only the
+historical side — step bills, latencies, which replica did the work —
+legitimately differs.  When a shard loses *all* replicas the service
+refuses partial answers: affected tickets degrade to a loud
+``REJECTED`` with a protocol-style ``retry_after`` hint instead of
+returning an answer missing a partition.
+
+Everything here is seed-deterministic: :func:`chaos_plan` expands a
+seed into a fixed event list, and two runs of the same (workload,
+plan) produce identical answers, reroutes, and digests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "ReplicaState",
+    "FaultEvent",
+    "FaultInjector",
+    "chaos_plan",
+]
+
+#: injection kinds understood by ``Service._apply_fault``
+FAULT_KINDS = ("kill", "wedge", "fail_task")
+
+
+class ReplicaState(Enum):
+    """Health of one (shard, replica) worker pool.
+
+    ``LIVE`` replicas take new work; ``SUSPECT`` (wedged) replicas
+    keep their in-flight races but are avoided for new placements
+    while any live sibling exists; ``DEAD`` (killed) and ``RETIRED``
+    (scaled down at a quiesce point) replicas serve nothing ever
+    again — the difference is that a kill loses in-flight legs (they
+    reroute) while retirement only happens on an idle service.
+    """
+
+    LIVE = "live"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    RETIRED = "retired"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection.
+
+    ``at`` is a threshold in ``unit`` — ``"clock"`` compares against
+    the service's virtual step clock, ``"completions"`` against its
+    completed-query counter; both are deterministic, so either unit
+    yields reproducible drills.  ``replica == -1`` on a kill means
+    "the busiest serving replica of the shard at fire time" (most
+    active fan-out legs, then highest step bill) — still a pure
+    function of execution state, and what makes a seeded drill
+    reliably *mid-flight*.  ``shard == -1`` on a ``fail_task`` means
+    "any shard" (the first active leg in token order aborts).
+    """
+
+    at: int
+    kind: str
+    shard: int = -1
+    replica: int = -1
+    #: wedge duration in scheduler ticks
+    ticks: int = 0
+    unit: str = "clock"
+    #: plan order — unique per plan, the apply-order tie-break
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.unit not in ("clock", "completions"):
+            raise ValueError(f"unknown fault unit {self.unit!r}")
+        if self.at < 0:
+            raise ValueError("fault threshold must be >= 0")
+        if self.kind == "wedge" and self.ticks < 1:
+            raise ValueError("wedge needs ticks >= 1")
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering for bench payloads."""
+        return {
+            "at": self.at,
+            "unit": self.unit,
+            "kind": self.kind,
+            "shard": self.shard,
+            "replica": self.replica,
+            "ticks": self.ticks,
+        }
+
+
+class FaultInjector:
+    """A fixed schedule of :class:`FaultEvent`\\ s, popped as they come due.
+
+    The service polls :meth:`due` once per pump tick with its current
+    clock and completion count; every event whose threshold has been
+    crossed fires exactly once, in plan (``seq``) order.  The injector
+    holds no randomness — all nondeterminism was spent when the plan
+    was built — so a chaos run is as replayable as a healthy one.
+    """
+
+    def __init__(self, events: tuple[FaultEvent, ...] | list = ()) -> None:
+        self._pending: list[FaultEvent] = sorted(
+            events, key=lambda e: (e.at, e.seq)
+        )
+        #: events fired so far, in apply order
+        self.applied: list[FaultEvent] = []
+
+    @property
+    def pending(self) -> tuple[FaultEvent, ...]:
+        """Events not yet fired."""
+        return tuple(self._pending)
+
+    def due(self, clock: int, completions: int) -> list[FaultEvent]:
+        """Pop every event whose threshold is crossed, in plan order."""
+        fired: list[FaultEvent] = []
+        keep: list[FaultEvent] = []
+        for event in self._pending:
+            value = clock if event.unit == "clock" else completions
+            (fired if value >= event.at else keep).append(event)
+        if not fired:
+            return []
+        self._pending = keep
+        fired.sort(key=lambda e: e.seq)
+        self.applied.extend(fired)
+        return fired
+
+    def summary(self) -> dict:
+        """JSON-ready counters for stats and bench payloads."""
+        return {
+            "planned": len(self.applied) + len(self._pending),
+            "applied": [e.as_dict() for e in self.applied],
+            "pending": len(self._pending),
+        }
+
+
+def chaos_plan(
+    seed: int,
+    num_shards: int,
+    replicas: int,
+    queries: int = 0,
+    horizon: int = 0,
+    kills_per_shard: int = 1,
+    wedges: int = 1,
+    fail_tasks: int = 1,
+    max_wedge_ticks: int = 6,
+) -> FaultInjector:
+    """Expand ``seed`` into the standard chaos drill.
+
+    The drill the acceptance criteria name: kill one replica of each
+    shard mid-run (the *busiest* replica at fire time, so the kill is
+    reliably mid-flight), plus ``wedges`` straggler freezes and
+    ``fail_tasks`` mid-flight task aborts.  Fire times are drawn
+    uniformly from the middle of the run — as virtual-clock thresholds
+    inside ``horizon`` steps when a horizon is known (e.g. from a
+    prior healthy run), else as completion-count thresholds inside
+    ``queries`` — so the same seed always produces the same plan.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if horizon <= 0 and queries <= 0:
+        raise ValueError("chaos_plan needs a horizon or a query count")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+
+    def when() -> tuple[int, str]:
+        if horizon > 0:
+            return max(1, int(rng.uniform(0.2, 0.6) * horizon)), "clock"
+        return max(1, int(rng.uniform(0.2, 0.6) * queries)), "completions"
+
+    seq = 0
+    for shard in range(num_shards):
+        for _ in range(kills_per_shard):
+            at, unit = when()
+            events.append(FaultEvent(
+                at=at, kind="kill", shard=shard, replica=-1,
+                unit=unit, seq=seq,
+            ))
+            seq += 1
+    for _ in range(wedges):
+        at, unit = when()
+        events.append(FaultEvent(
+            at=at, kind="wedge",
+            shard=rng.randrange(num_shards),
+            replica=rng.randrange(replicas),
+            ticks=rng.randint(2, max(2, max_wedge_ticks)),
+            unit=unit, seq=seq,
+        ))
+        seq += 1
+    for _ in range(fail_tasks):
+        at, unit = when()
+        events.append(FaultEvent(
+            at=at, kind="fail_task", unit=unit, seq=seq,
+        ))
+        seq += 1
+    return FaultInjector(events)

@@ -63,6 +63,8 @@ class LoadReport:
     decisions: str = ""
     #: rebalancer summary when a Rebalancer rode along (else empty)
     rebalance: dict = field(default_factory=dict)
+    #: chaos summary when a FaultInjector rode along (else empty)
+    chaos: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[Ticket]:
@@ -129,7 +131,42 @@ class LoadReport:
             "fanout_waste": self.service_stats["fanout_waste"],
             "routing": self.service_stats["routing"],
             "rebalance": self.rebalance,
+            "chaos": self.chaos,
         }
+
+
+def _chaos_summary(
+    service: Service, tickets: list[Ticket], faults
+) -> dict:
+    """The ``chaos`` section of the bench payload.
+
+    ``lost`` counts tickets that never reached a terminal state —
+    the zero-lost-tickets invariant of the failure model — and the
+    latency split separates queries the chaos touched (``retries > 0``)
+    from those it did not, so the report shows what a fault costs the
+    clients it hits without polluting the healthy percentiles.
+    """
+    done = [t for t in tickets if t.state is TicketState.DONE]
+    healthy = [t.latency or 0 for t in done if t.retries == 0]
+    touched = [t.latency or 0 for t in done if t.retries > 0]
+    stats = service.stats().get("faults", {})
+    return {
+        "enabled": True,
+        "injected": stats.get("injected", 0),
+        "retries": stats.get("retries", 0),
+        "rerouted": stats.get("rerouted", 0),
+        "degraded": stats.get("degraded", 0),
+        "tasks_failed": stats.get("tasks_failed", 0),
+        "degraded_tickets": sum(1 for t in tickets if t.degraded),
+        "lost": sum(1 for t in tickets if not t.done),
+        "plan": faults.summary(),
+        "latency_healthy": (
+            summarize_latencies(healthy).as_dict() if healthy else None
+        ),
+        "latency_chaos": (
+            summarize_latencies(touched).as_dict() if touched else None
+        ),
+    }
 
 
 def _report(
@@ -138,6 +175,7 @@ def _report(
     wall_seconds: float,
     config: dict,
     rebalancer=None,
+    faults=None,
 ) -> LoadReport:
     done = [t for t in tickets if t.state is TicketState.DONE]
     return LoadReport(
@@ -152,6 +190,11 @@ def _report(
         rebalance=(
             rebalancer.summary() if rebalancer is not None else {}
         ),
+        chaos=(
+            _chaos_summary(service, tickets, faults)
+            if faults is not None
+            else {}
+        ),
     )
 
 
@@ -161,6 +204,7 @@ def replay(
     stream: list[MixedQuery],
     options: QueryOptions | None = None,
     config: dict | None = None,
+    faults=None,
 ) -> LoadReport:
     """Open-loop flood: submit the whole stream up front, then drain.
 
@@ -169,6 +213,8 @@ def replay(
     for capacity measurement.
     """
     options = options or QueryOptions()
+    if faults is not None:
+        service.install_faults(faults)
     start = time.perf_counter()
     tickets = [
         service.submit(
@@ -178,7 +224,7 @@ def replay(
     ]
     service.run_until_idle()
     wall = time.perf_counter() - start
-    return _report(service, tickets, wall, config or {})
+    return _report(service, tickets, wall, config or {}, faults=faults)
 
 
 def run_closed_loop(
@@ -190,6 +236,7 @@ def run_closed_loop(
     config: dict | None = None,
     rebalancer=None,
     rebalance_every: int = 0,
+    faults=None,
 ) -> LoadReport:
     """Closed-loop load: each tenant keeps ``concurrency`` in flight.
 
@@ -202,9 +249,17 @@ def run_closed_loop(
     generator stops feeding, lets the in-flight queries drain (the
     quiesce point migrations require), invokes the rebalancer, and
     resumes — deterministic, like everything else on the virtual clock.
+
+    With a :class:`~repro.service.faults.FaultInjector`, its events are
+    installed on the service before the first submission and fire on
+    the virtual clock as the loop pumps — chaos mode.  The report then
+    carries a ``chaos`` section (injection counters, the zero-lost-
+    tickets check, and a healthy-vs-fault-touched latency split).
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
+    if faults is not None:
+        service.install_faults(faults)
     pending = {t: list(s) for t, s in streams.items()}
     outstanding = {t: 0 for t in streams}
     tickets: list[Ticket] = []
@@ -246,4 +301,6 @@ def run_closed_loop(
         if service.idle and not any(pending.values()):
             break
     wall = time.perf_counter() - start
-    return _report(service, tickets, wall, config or {}, rebalancer)
+    return _report(
+        service, tickets, wall, config or {}, rebalancer, faults
+    )

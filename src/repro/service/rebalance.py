@@ -55,7 +55,9 @@ class Rebalancer:
     Parameters
     ----------
     service:
-        A sharded :class:`~repro.service.Service`.
+        A :class:`~repro.service.Service` — ideally sharded; an
+        unsharded (or single-shard) one makes every check a counted
+        no-op.
     skew_threshold:
         Hottest/coldest bill ratio (since the last rebalance) above
         which a migration is attempted.  1.0 rebalances on any
@@ -68,6 +70,19 @@ class Rebalancer:
         Whole-graph moves per quiesce point, across all datasets.
         Small on purpose: each move re-registers two shards, and a
         persistent skew will trigger again at the next quiesce.
+    replica_scaling:
+        Also grow/shrink shard **replica counts** from the same window
+        loads (off by default): a shard billing more than
+        ``grow_threshold`` x the mean gains a warm replica (up to
+        ``max_replicas``), and a shard below ``shrink_threshold`` x
+        the mean retires one (never its last), both through the
+        service's quiesce-point scaling operations.
+
+    Degenerate topologies never raise: an unsharded service, a single
+    shard, an all-dark layout, or a collection too small to migrate
+    simply no-ops with the ``degenerate`` counter ticking — the
+    rebalancer is an opportunistic background concern, and "nothing to
+    do" is an answer, not an error.
     """
 
     def __init__(
@@ -76,17 +91,29 @@ class Rebalancer:
         skew_threshold: float = 1.25,
         min_window_steps: int = 2_048,
         max_moves: int = 2,
+        replica_scaling: bool = False,
+        max_replicas: int = 4,
+        grow_threshold: float = 1.75,
+        shrink_threshold: float = 0.25,
     ) -> None:
-        if not isinstance(service.catalog, ShardedCatalog):
-            raise ValueError("rebalancing needs a sharded catalog")
         if skew_threshold < 1.0:
             raise ValueError("skew_threshold must be >= 1.0")
         if max_moves < 1:
             raise ValueError("max_moves must be >= 1")
+        if max_replicas < 1:
+            raise ValueError("max_replicas must be >= 1")
+        if grow_threshold <= shrink_threshold:
+            raise ValueError(
+                "grow_threshold must exceed shrink_threshold"
+            )
         self.service = service
         self.skew_threshold = skew_threshold
         self.min_window_steps = min_window_steps
         self.max_moves = max_moves
+        self.replica_scaling = replica_scaling
+        self.max_replicas = max_replicas
+        self.grow_threshold = grow_threshold
+        self.shrink_threshold = shrink_threshold
         #: pool_work snapshot at the last rebalance (window baseline)
         self._baseline = list(service.dispatcher.pool_work)
         #: graph_bills snapshot at the last rebalance (per-graph window)
@@ -97,18 +124,49 @@ class Rebalancer:
         self.rebalances = 0
         #: quiesce checks that found no actionable skew
         self.skipped = 0
+        #: quiesce checks no-opped by a degenerate topology
+        self.degenerate = 0
+        #: replica scale-out/-in events applied
+        self.replicas_grown = 0
+        self.replicas_shrunk = 0
+        self.replica_changes: list[dict] = []
 
     # ------------------------------------------------------------------
     # signal
     # ------------------------------------------------------------------
 
-    def window_loads(self) -> list[int]:
-        """Per-shard steps billed since the last rebalance."""
+    def _pool_window(self) -> list[int]:
+        """Per-pool steps billed since the last rebalance.
+
+        Pools added after the baseline snapshot (replica scale-out)
+        default to a zero baseline — their whole bill is window load.
+        """
+        base = self._baseline
         return [
-            work - base
-            for work, base in zip(
-                self.service.dispatcher.pool_work, self._baseline
+            work - (base[i] if i < len(base) else 0)
+            for i, work in enumerate(
+                self.service.dispatcher.pool_work
             )
+        ]
+
+    def window_loads(self) -> list[int]:
+        """Per-shard steps billed since the last rebalance.
+
+        With replicas a shard's load sums over every pool that ever
+        served it (dead replicas' history included), so the migration
+        signal keeps per-shard semantics whatever the replica layout.
+        """
+        pool_window = self._pool_window()
+        catalog = self.service.catalog
+        if not isinstance(catalog, ShardedCatalog):
+            return pool_window
+        return [
+            sum(
+                pool_window[p]
+                for p in catalog.shard_pools(s)
+                if p < len(pool_window)
+            )
+            for s in range(catalog.num_shards)
         ]
 
     def skew(self) -> float:
@@ -130,23 +188,90 @@ class Rebalancer:
         service = self.service
         if not service.idle:
             return []
+        catalog = service.catalog
+        if (
+            not isinstance(catalog, ShardedCatalog)
+            or catalog.num_shards < 2
+        ):
+            # degenerate topology: nothing to migrate between — no-op,
+            # never an exception (satellite of the failure model: a
+            # rebalancer must survive any layout it is pointed at)
+            self.degenerate += 1
+            return []
         loads = self.window_loads()
         if sum(loads) < self.min_window_steps:
             self.skipped += 1
             return []
-        if skew_ratio(loads) < self.skew_threshold:
-            self.skipped += 1
-            return []
-        hot = max(range(len(loads)), key=lambda s: (loads[s], -s))
-        cold = min(range(len(loads)), key=lambda s: (loads[s], s))
-        applied = self._migrate(hot, cold, loads)
-        if applied:
-            self.rebalances += 1
+        applied: list[Migration] = []
+        # only shards with a serving replica can give or take graphs
+        serving = [
+            s
+            for s in range(catalog.num_shards)
+            if catalog.replica_ids(s)
+        ]
+        if len(serving) < 2:
+            self.degenerate += 1
+        elif skew_ratio([loads[s] for s in serving]) >= (
+            self.skew_threshold
+        ):
+            hot = max(serving, key=lambda s: (loads[s], -s))
+            cold = min(serving, key=lambda s: (loads[s], s))
+            applied = self._migrate(hot, cold, loads)
+        scaled = self._scale_replicas(loads, serving)
+        if applied or scaled:
+            if applied:
+                self.rebalances += 1
             self._baseline = list(service.dispatcher.pool_work)
             self._graph_baseline = dict(service.graph_bills)
         else:
             self.skipped += 1
         return applied
+
+    def _scale_replicas(
+        self, loads: list[int], serving: list[int]
+    ) -> list[dict]:
+        """Grow the hottest overloaded shard / shrink the coldest
+        over-provisioned one (at most one of each per quiesce check).
+
+        Thresholds are relative to the mean serving-shard window load,
+        so the decision is a pure function of the same step bills the
+        migration path reads; changes go through the service's
+        quiesce-point scaling operations, which keep catalog replicas
+        and dispatcher pools in lockstep.
+        """
+        if not self.replica_scaling or not serving:
+            return []
+        service = self.service
+        mean = sum(loads[s] for s in serving) / len(serving)
+        if mean <= 0:
+            return []
+        changes: list[dict] = []
+        hot = max(serving, key=lambda s: (loads[s], -s))
+        if (
+            loads[hot] > self.grow_threshold * mean
+            and len(service.live_replicas(hot)) < self.max_replicas
+        ):
+            replica = service.add_replica(hot)
+            self.replicas_grown += 1
+            changes.append(
+                {"action": "grow", "shard": hot, "replica": replica,
+                 "clock": service.clock}
+            )
+        cold = min(serving, key=lambda s: (loads[s], s))
+        if (
+            cold != hot
+            and loads[cold] < self.shrink_threshold * mean
+            and len(service.live_replicas(cold)) > 1
+        ):
+            replica = service.retire_replica(cold)
+            if replica is not None:
+                self.replicas_shrunk += 1
+                changes.append(
+                    {"action": "shrink", "shard": cold,
+                     "replica": replica, "clock": service.clock}
+                )
+        self.replica_changes.extend(changes)
+        return changes
 
     def graph_window(self, dataset: str, graph_id: int) -> int:
         """One stored graph's verification steps since the last rebalance."""
@@ -214,6 +339,10 @@ class Rebalancer:
         return {
             "rebalances": self.rebalances,
             "skipped_checks": self.skipped,
+            "degenerate_checks": self.degenerate,
+            "replicas_grown": self.replicas_grown,
+            "replicas_shrunk": self.replicas_shrunk,
+            "replica_changes": list(self.replica_changes),
             "migrations": [
                 {
                     "dataset": m.dataset,

@@ -49,6 +49,7 @@ from .admission import AdmissionController, Ticket, TicketState
 from .cache import CachedResult, ResultCache
 from .catalog import DatasetCatalog, DatasetEntry
 from .dispatcher import Dispatcher, RaceTask
+from .faults import FaultEvent, FaultInjector, ReplicaState
 from .sharding import ShardedCatalog, ShardedEntry, merge_shard_outcomes
 
 __all__ = [
@@ -201,12 +202,24 @@ class _FanoutState:
     waves: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
     work: dict = field(default_factory=dict)
+    #: shard -> replica its in-flight leg is placed on (reroute target
+    #: bookkeeping; entries for settled shards go stale harmlessly)
+    replica_of: dict = field(default_factory=dict)
     #: virtual clock at which the next wave hedge-launches even though
     #: the current wave is still racing (None = no waves deferred)
     hedge_at: Optional[int] = None
     #: router epoch at plan time — deferred waves refuse to launch
     #: against a layout that changed under them (None = no waves)
     epoch: Optional[int] = None
+
+
+class _ShardsDark(Exception):
+    """Raised while building a fan-out whose plan needs a shard that
+    has no serving replica left — the service degrades the ticket."""
+
+    def __init__(self, shards: list) -> None:
+        super().__init__(f"shards {shards} have no serving replica")
+        self.shards = shards
 
 
 class Service:
@@ -227,22 +240,38 @@ class Service:
         routing: bool = True,
         assignment: str = "size_balanced",
         hedge_ticks: int = 1,
+        replicas: int = 1,
+        max_retries: int = 3,
+        degraded_retry_after: int = 4_096,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         if catalog is not None:
             self.catalog = catalog
-        elif shards > 1:
+        elif shards > 1 or replicas > 1:
             self.catalog = ShardedCatalog(
                 num_shards=shards,
                 overhead=overhead,
                 assignment=assignment,
+                replicas=replicas,
             )
         else:
             self.catalog = DatasetCatalog(overhead=overhead)
         #: fan queries out across catalog shards (each shard gets its
-        #: own worker pool of ``workers`` slots)
+        #: own worker pool of ``workers`` slots per replica)
         self.sharded = isinstance(self.catalog, ShardedCatalog)
+        if replicas > 1 and (
+            not self.sharded or self.catalog.replicas != replicas
+        ):
+            raise ValueError(
+                f"replicas={replicas} conflicts with the provided "
+                "catalog's replica layout"
+            )
         #: consult per-shard feature sketches before fanning out:
         #: provably-empty shards are pruned from the fan-out and
         #: decision-only fan-outs race in expected-first-true wave
@@ -256,11 +285,13 @@ class Service:
         if hedge_ticks < 1:
             raise ValueError("hedge_ticks must be >= 1")
         self.hedge_ticks = hedge_ticks
-        pools = self.catalog.num_shards if self.sharded else 1
-        if shards > 1 and pools != shards:
+        pools = self.catalog.pool_count if self.sharded else 1
+        if shards > 1 and (
+            not self.sharded or self.catalog.num_shards != shards
+        ):
             raise ValueError(
                 f"shards={shards} conflicts with the provided "
-                f"catalog's {pools} shard(s)"
+                "catalog's shard layout"
             )
         self.admission = admission or AdmissionController()
         self.cache = cache or ResultCache()
@@ -314,6 +345,32 @@ class Service:
         # so a long-lived service doesn't grow (or re-sort) its whole
         # history per stats call
         self._latencies: deque[int] = deque(maxlen=65_536)
+        # ---- replica health + fault handling ----
+        #: bounded retries per ticket before it degrades: a leg lost to
+        #: a dead replica (or a failed task) re-admits at most this
+        #: many times across the ticket's whole fan-out
+        self.max_retries = max_retries
+        #: retry-after hint (virtual steps) handed to degraded tickets
+        self.degraded_retry_after = degraded_retry_after
+        #: scheduled fault injections (None = healthy run)
+        self.faults = faults
+        #: (shard, replica) -> state; absent = LIVE
+        self.replica_states: dict[tuple[int, int], ReplicaState] = {}
+        #: (shard, replica) -> virtual clock at which a wedge expires
+        self._suspect_until: dict[tuple[int, int], int] = {}
+        #: tickets degraded since the last pump returned (drained into
+        #: pump's completed list so closed loops see them finish)
+        self._degraded_now: list[Ticket] = []
+        #: chaos-path counters (surfaced in :meth:`stats`)
+        self.retries = 0
+        self.rerouted = 0
+        self.degraded = 0
+        self.replicas_killed = 0
+        self.replicas_wedged = 0
+        self.tasks_failed = 0
+        self.replicas_retired = 0
+        #: injected events that found nothing to act on
+        self.faults_noop = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -621,6 +678,11 @@ class Service:
                 waves = [plan.order[1:]]
         else:
             first = involved
+        dark = self._dark_shards(
+            dict.fromkeys(first), [tuple(w) for w in waves]
+        )
+        if dark:
+            raise _ShardsDark(dark)
         races: dict[int, RaceTask] = {}
         id_maps: dict[int, Optional[tuple]] = {}
         for shard in sorted(first):
@@ -731,20 +793,107 @@ class Service:
     # the tick loop
     # ------------------------------------------------------------------
 
+    def replica_state(self, shard: int, replica: int) -> ReplicaState:
+        """Health of one replica (LIVE unless marked otherwise)."""
+        return self.replica_states.get(
+            (shard, replica), ReplicaState.LIVE
+        )
+
+    def _placeable(self, shard: int) -> list[tuple[int, int]]:
+        """``(pool, replica)`` candidates that may take new work.
+
+        Live replicas first; when every serving replica is suspect
+        (wedged) the suspects are used anyway — work placed there
+        stalls until the wedge expires rather than degrading, because
+        a straggler is a delay, not a loss.  Empty = dark shard.
+        """
+        if not self.sharded:
+            return [(0, 0)]
+        pool = self.catalog.pool_index
+        ids = self.catalog.replica_ids(shard)
+        live = [
+            (pool(shard, r), r)
+            for r in ids
+            if self.replica_state(shard, r) is ReplicaState.LIVE
+        ]
+        if live:
+            return live
+        return [
+            (pool(shard, r), r)
+            for r in ids
+            if self.replica_state(shard, r) is ReplicaState.SUSPECT
+        ]
+
+    def _place(
+        self, shard: int, width: Optional[int] = None
+    ) -> Optional[tuple[int, int]]:
+        """Pick the replica pool for one new shard leg, or None (dark).
+
+        Least-loaded-live placement: among candidates, prefer pools
+        with ``width`` free slots right now, then the lowest step bill
+        (``Dispatcher.pool_work``), replica id as the deterministic
+        tie-break.  With one replica per shard this degenerates to
+        ``pool == shard`` — bit-for-bit the pre-replication placement.
+        """
+        candidates = self._placeable(shard)
+        if not candidates:
+            return None
+        if width is not None:
+            fitting = [
+                c for c in candidates
+                if width <= self.dispatcher.slots_free(c[0])
+            ]
+            if fitting:
+                candidates = fitting
+        return min(
+            candidates,
+            key=lambda c: (self.dispatcher.pool_work[c[0]], c[1]),
+        )
+
     def _fits(self, races: dict) -> bool:
-        """Whether every shard pool can co-schedule its race now."""
+        """Whether every shard's race can co-schedule on some live
+        replica pool right now."""
         return all(
-            race.width <= self.dispatcher.slots_free(shard)
+            any(
+                race.width <= self.dispatcher.slots_free(pool)
+                for pool, _ in self._placeable(shard)
+            )
             for shard, race in races.items()
+        )
+
+    def _dark_shards(self, races: dict, waves: list) -> list[int]:
+        """Planned shards with no serving replica (degrade triggers)."""
+        if not self.sharded:
+            return []
+        planned = set(races)
+        for group in waves:
+            planned.update(group)
+        return sorted(
+            s for s in planned if not self._placeable(s)
         )
 
     def _dispatch(
         self, ticket: Ticket, races: dict, id_maps: dict, waves: list
-    ) -> None:
-        """Attach one ticket's (first-wave) fan-out to the pools."""
+    ) -> bool:
+        """Attach one ticket's (first-wave) fan-out to the pools.
+
+        Every leg is placed on the least-loaded live replica of its
+        shard at this instant; a shard gone dark between staging and
+        dispatch degrades the ticket instead (False return).
+        """
         tid = ticket.id
+        placements: dict[int, tuple[int, int]] = {}
+        for shard, race in sorted(races.items()):
+            placed = self._place(shard, width=race.width)
+            if placed is None:
+                self._degrade(
+                    tid, f"shard {shard} has no serving replica"
+                )
+                return False
+            placements[shard] = placed
         for shard in sorted(races):
-            self.dispatcher.admit((tid, shard), races[shard], pool=shard)
+            pool, _ = placements[shard]
+            self.dispatcher.admit((tid, shard), races[shard], pool=pool)
         entry = self._open[tid][1]
         router = getattr(entry, "router", None)
         self._fanout[tid] = _FanoutState(
@@ -752,6 +901,10 @@ class Service:
             outcomes={},
             id_maps=id_maps,
             cancelled=[],
+            replica_of={
+                shard: replica
+                for shard, (_, replica) in placements.items()
+            },
             waves=list(waves),
             hedge_at=(
                 self.clock + self.hedge_ticks * self.dispatcher.quantum
@@ -766,6 +919,7 @@ class Service:
         )
         ticket.start_time = self.clock
         ticket.fanout = len(races)
+        return True
 
     def _admit(self) -> None:
         """Move queued tickets into the dispatcher while slots allow.
@@ -781,6 +935,18 @@ class Service:
                 tid = self._staged[0]
                 ticket = self._open[tid][0]
                 races, id_maps, waves = self._staged_races[tid]
+                dark = self._dark_shards(races, waves)
+                if dark:
+                    # a shard this fan-out needs died while the ticket
+                    # waited for width: refuse rather than block the
+                    # staging line forever
+                    self._staged.pop(0)
+                    del self._staged_races[tid]
+                    self._degrade(
+                        tid,
+                        f"shard(s) {dark} lost every replica",
+                    )
+                    continue
                 if not self._fits(races):
                     return  # head-of-line: wait for the pools to drain
                 self._staged.pop(0)
@@ -796,9 +962,16 @@ class Service:
                     return
                 tid = ticket.id
                 _, entry, options, _, variants = self._open[tid]
-                races, id_maps, waves = self._build_races(
-                    ticket, entry, options, variants
-                )
+                try:
+                    races, id_maps, waves = self._build_races(
+                        ticket, entry, options, variants
+                    )
+                except _ShardsDark as dark:
+                    self._degrade(
+                        tid,
+                        f"shard(s) {dark.shards} lost every replica",
+                    )
+                    continue
                 if not self._fits(races):
                     self._staged.append(tid)
                     self._staged_races[tid] = (races, id_maps, waves)
@@ -855,12 +1028,20 @@ class Service:
                 "only sound at quiesce points"
             )
         for shard in sorted(group):
+            placed = self._place(shard)
+            if placed is None:
+                self._degrade(
+                    tid, f"shard {shard} has no serving replica"
+                )
+                return
+            pool, replica = placed
             race, id_map = self._build_shard_race(
                 ticket, entry, options, variants, shard
             )
-            self.dispatcher.admit((tid, shard), race, pool=shard)
+            self.dispatcher.admit((tid, shard), race, pool=pool)
             state.pending.add(shard)
             state.id_maps[shard] = id_map
+            state.replica_of[shard] = replica
         ticket.fanout += len(group)
         state.hedge_at = (
             self.clock + self.hedge_ticks * self.dispatcher.quantum
@@ -927,14 +1108,335 @@ class Service:
             if race is None or not race.found:
                 self.fanout_waste += work
 
+    # ------------------------------------------------------------------
+    # replica health, fault injection, reroute, degradation
+    # ------------------------------------------------------------------
+
+    def install_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Arm (or disarm, with None) a fault-injection schedule."""
+        self.faults = injector
+
+    def _apply_due_faults(self) -> None:
+        """Fire every scheduled fault whose threshold has been crossed."""
+        if self.faults is None:
+            return
+        for event in self.faults.due(self.clock, self.completed_count):
+            self._apply_fault(event)
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        if event.kind == "kill":
+            replica = event.replica
+            if replica < 0:
+                replica = self._busiest_replica(event.shard)
+            if replica is None:
+                self.faults_noop += 1
+                return
+            self.kill_replica(event.shard, replica)
+        elif event.kind == "wedge":
+            self.wedge_replica(event.shard, event.replica, event.ticks)
+        elif event.kind == "fail_task":
+            self._fail_one_task(event.shard)
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def _busiest_replica(self, shard: int) -> Optional[int]:
+        """The serving replica with the most in-flight legs (then the
+        highest step bill, then the highest id) — the deterministic
+        resolution of a ``replica=-1`` kill, chosen so a seeded drill
+        reliably hits a replica with work to lose."""
+        if not self.sharded:
+            return None
+        ids = [
+            r
+            for r in self.catalog.replica_ids(shard)
+            if self.replica_state(shard, r)
+            in (ReplicaState.LIVE, ReplicaState.SUSPECT)
+        ]
+        if not ids:
+            return None
+        legs = {r: 0 for r in ids}
+        for state in self._fanout.values():
+            replica = state.replica_of.get(shard)
+            if shard in state.pending and replica in legs:
+                legs[replica] += 1
+        pool = self.catalog.pool_index
+        return max(
+            ids,
+            key=lambda r: (
+                legs[r], self.dispatcher.pool_work[pool(shard, r)], r
+            ),
+        )
+
+    def kill_replica(self, shard: int, replica: int) -> None:
+        """Kill one replica permanently (fault drills call this).
+
+        The replica's warm state is released, every in-flight leg it
+        carried is rerouted to a surviving replica of the shard (same
+        ticket, fresh race, full budget — determinism makes the re-run
+        answer-identical), and new work never lands on it again.
+        Killing a dead/retired replica is a no-op.
+        """
+        if not self.sharded:
+            raise ValueError("replica faults need a sharded catalog")
+        key = (shard, replica)
+        if self.replica_states.get(key) in (
+            ReplicaState.DEAD, ReplicaState.RETIRED,
+        ):
+            self.faults_noop += 1
+            return
+        self.replica_states[key] = ReplicaState.DEAD
+        self._suspect_until.pop(key, None)
+        self.replicas_killed += 1
+        self.catalog.release_replica(shard, replica)
+        for tid in sorted(self._fanout):
+            state = self._fanout.get(tid)
+            if state is None:
+                continue  # degraded by an earlier reroute this loop
+            if (
+                shard in state.pending
+                and state.replica_of.get(shard) == replica
+            ):
+                self._reroute_leg(tid, shard, lost=True)
+
+    def wedge_replica(
+        self, shard: int, replica: int, ticks: int
+    ) -> None:
+        """Freeze one replica's pool for ``ticks`` scheduler ticks.
+
+        The straggler drill: the replica is SUSPECT while wedged (new
+        placements avoid it when a live sibling exists), its races
+        stall in place, and it returns to LIVE when the wedge expires.
+        Wedging a dead/retired/unknown replica is a no-op.
+        """
+        if not self.sharded:
+            raise ValueError("replica faults need a sharded catalog")
+        key = (shard, replica)
+        if (
+            replica not in self.catalog.replica_ids(shard)
+            or self.replica_states.get(key)
+            in (ReplicaState.DEAD, ReplicaState.RETIRED)
+        ):
+            self.faults_noop += 1
+            return
+        self.replica_states[key] = ReplicaState.SUSPECT
+        self._suspect_until[key] = (
+            self.clock + max(1, ticks) * self.dispatcher.quantum
+        )
+        self.replicas_wedged += 1
+
+    def _unwedge_expired(self) -> None:
+        """Return SUSPECT replicas whose wedge ran out to LIVE."""
+        for key, until in sorted(self._suspect_until.items()):
+            if self.clock >= until:
+                del self._suspect_until[key]
+                if (
+                    self.replica_states.get(key)
+                    is ReplicaState.SUSPECT
+                ):
+                    del self.replica_states[key]
+
+    def _frozen_pools(self) -> frozenset:
+        """Pools that run nothing this tick (wedged replicas)."""
+        if not self._suspect_until:
+            return frozenset()
+        pool = self.catalog.pool_index
+        return frozenset(
+            pool(s, r)
+            for (s, r) in self._suspect_until
+            if self.replica_states.get((s, r)) is ReplicaState.SUSPECT
+        )
+
+    def _fail_one_task(self, shard: int = -1) -> None:
+        """Abort one in-flight leg (the worker-crash drill).
+
+        The victim is the lowest active ``(tid, shard)`` token (of the
+        given shard, or any) whose fan-out is still open; it restarts
+        from scratch on the least-loaded live replica — possibly the
+        same one, a crash is not a death sentence for the pool.
+        """
+        tokens = sorted(
+            t
+            for t in self.dispatcher.tokens()
+            if isinstance(t, tuple)
+            and t[0] in self._fanout
+            and t[1] in self._fanout[t[0]].pending
+            and (shard < 0 or t[1] == shard)
+        )
+        if not tokens:
+            self.faults_noop += 1
+            return
+        tid, s = tokens[0]
+        self.tasks_failed += 1
+        self._reroute_leg(tid, s, lost=False)
+
+    def _reroute_leg(self, tid: int, shard: int, lost: bool) -> None:
+        """Re-admit one fan-out leg after its replica died or its task
+        failed.
+
+        The recovery protocol: cancel the old race, rebuild a fresh
+        one from the shard's surviving warm state, and admit it on the
+        least-loaded serving replica under the same ticket token.  The
+        rebuilt race runs the same deterministic engines with the
+        ticket's full step budget, so a leg that completes after N
+        retries answers bit-for-bit what it would have healthy — only
+        its bill and latency carry the scar.  Retries are bounded per
+        ticket; exhaustion (or a shard with no replica left) degrades
+        the ticket instead of looping.
+        """
+        ticket, entry, options, _key, variants = self._open[tid]
+        state = self._fanout[tid]
+        self.dispatcher.cancel((tid, shard))
+        ticket.retries += 1
+        self.retries += 1
+        if ticket.retries > self.max_retries:
+            self._degrade(
+                tid,
+                f"retry budget exhausted ({self.max_retries}) "
+                f"rerouting shard {shard}",
+            )
+            return
+        old_replica = state.replica_of.get(shard)
+        if isinstance(entry, ShardedEntry):
+            placed = self._place(shard)
+            if placed is None:
+                self._degrade(
+                    tid, f"shard {shard} has no serving replica"
+                )
+                return
+            pool, replica = placed
+            race, id_map = self._build_shard_race(
+                ticket, entry, options, variants, shard
+            )
+        else:
+            pool, replica = 0, 0
+            race, _ = self._build_race(
+                ticket, entry, options, variants
+            )
+            id_map = None
+        self.dispatcher.admit((tid, shard), race, pool=pool)
+        state.id_maps[shard] = id_map
+        state.replica_of[shard] = replica
+        if lost or replica != old_replica:
+            self.rerouted += 1
+
+    def _degrade(self, tid: int, reason: str) -> None:
+        """Refuse a ticket the topology can no longer answer fully.
+
+        Partial answers are never returned: a fan-out missing a
+        shard's contribution would silently drop matches, so the whole
+        ticket (and its coalesced followers) resolves REJECTED with a
+        ``degraded`` mark and a ``retry_after`` hint — the
+        protocol-style backpressure answer — while the service keeps
+        serving everything that doesn't need the dark shard.
+        """
+        ticket, _entry, _options, key, _variants = self._open.pop(tid)
+        state = self._fanout.pop(tid, None)
+        if state is not None:
+            for shard in sorted(state.pending):
+                self.dispatcher.cancel((tid, shard))
+            state.pending.clear()
+            state.waves.clear()
+        if tid in self._staged:
+            self._staged.remove(tid)
+            self._staged_races.pop(tid, None)
+        if key is not None and self._inflight_keys.get(key) == tid:
+            del self._inflight_keys[key]
+        retry_after = self.clock + self.degraded_retry_after
+        self._reject_degraded(ticket, reason, retry_after)
+        self.admission.on_complete(ticket)
+        for follower in self._followers.pop(tid, []):
+            self._reject_degraded(follower, reason, retry_after)
+            self.admission.release_coalesced(follower)
+
+    def _reject_degraded(
+        self, ticket: Ticket, reason: str, retry_after: int
+    ) -> None:
+        ticket.state = TicketState.REJECTED
+        ticket.degraded = True
+        ticket.reject_reason = f"degraded: {reason}"
+        ticket.retry_after = retry_after
+        ticket.finish_time = self.clock
+        self.degraded += 1
+        self._degraded_now.append(ticket)
+
+    def _drain_degraded(self) -> list[Ticket]:
+        drained = self._degraded_now
+        self._degraded_now = []
+        return drained
+
+    # ------------------------------------------------------------------
+    # replica scaling (quiesce-point operations)
+    # ------------------------------------------------------------------
+
+    def live_replicas(self, shard: int) -> list[int]:
+        """Serving replica ids of ``shard`` currently LIVE."""
+        if not self.sharded:
+            return [0]
+        return [
+            r
+            for r in self.catalog.replica_ids(shard)
+            if self.replica_state(shard, r) is ReplicaState.LIVE
+        ]
+
+    def add_replica(self, shard: int) -> int:
+        """Scale one shard out by a warm replica (catalog + pool grow
+        in lockstep).  Returns the new replica id."""
+        if not self.sharded:
+            raise ValueError("replicas need a sharded catalog")
+        replica = self.catalog.add_replica(shard)
+        pool = self.dispatcher.add_pool()
+        expected = self.catalog.pool_index(shard, replica)
+        if pool != expected:  # pragma: no cover - lockstep invariant
+            raise RuntimeError(
+                f"pool {pool} != catalog pool {expected}; grow "
+                "replicas through Service.add_replica only"
+            )
+        return replica
+
+    def retire_replica(
+        self, shard: int, replica: Optional[int] = None
+    ) -> Optional[int]:
+        """Scale one shard in by retiring a LIVE replica at quiesce.
+
+        Unlike a kill this is voluntary and safe: it requires an idle
+        service (no legs to lose) and never removes the last live
+        replica.  Returns the retired replica id, or None when the
+        shard cannot shrink.
+        """
+        if not self.sharded:
+            raise ValueError("replicas need a sharded catalog")
+        if not self.idle:
+            raise RuntimeError(
+                "retire_replica is a quiesce-point operation; the "
+                "service is not idle"
+            )
+        live = self.live_replicas(shard)
+        if len(live) < 2:
+            return None
+        if replica is None:
+            replica = max(live)
+        elif replica not in live:
+            return None
+        key = (shard, replica)
+        self.replica_states[key] = ReplicaState.RETIRED
+        self._suspect_until.pop(key, None)
+        self.catalog.release_replica(shard, replica)
+        self.replicas_retired += 1
+        return replica
+
     def pump(self) -> list[Ticket]:
         """One scheduling tick; returns tickets completed this tick
-        (coalesced followers resolve alongside their leader)."""
+        (coalesced followers resolve alongside their leader, and
+        tickets degraded by a fault count as completed-with-refusal so
+        closed loops see their slots free up)."""
+        self._unwedge_expired()
         # hedge overdue routed waves before admitting new work: a
         # first wave that has raced ``hedge_ticks`` without settling
         # forfeits its head start and the remaining shards join in
         for tid in sorted(self._fanout):
-            state = self._fanout[tid]
+            state = self._fanout.get(tid)
+            if state is None:
+                continue  # degraded earlier in this very loop
             if (
                 state.waves
                 and state.hedge_at is not None
@@ -942,9 +1444,15 @@ class Service:
             ):
                 self._advance_wave(tid, state)
         self._admit()
+        # scheduled faults fire after admission, before the tick: this
+        # tick's legs are already placed, so a due kill genuinely hits
+        # mid-flight work (and its reroutes run in this same tick)
+        self._apply_due_faults()
         if self.dispatcher.active == 0:
-            return []
-        events = self.dispatcher.tick(self._priority_order())
+            return self._drain_degraded()
+        events = self.dispatcher.tick(
+            self._priority_order(), frozen=self._frozen_pools()
+        )
         # pass 1: bill every shard's work this tick while all tickets
         # are still open — a shard whose sibling settles the query this
         # same tick still really did its final round
@@ -972,6 +1480,7 @@ class Service:
             del self._open[tid]
             completed.append(ticket)
             completed.extend(self._resolve_followers(tid, ticket.result))
+        completed.extend(self._drain_degraded())
         return completed
 
     def _finalize(
@@ -1065,11 +1574,13 @@ class Service:
 
     @property
     def idle(self) -> bool:
-        """True when no queued, staged, or running work remains."""
+        """True when no queued, staged, or running work remains (and
+        no degraded ticket is still waiting to be handed back)."""
         return (
             self.dispatcher.active == 0
             and self.admission.queued() == 0
             and not self._staged
+            and not self._degraded_now
         )
 
     def run_until_idle(self, max_ticks: int = 10_000_000) -> list[Ticket]:
@@ -1095,15 +1606,72 @@ class Service:
             if self._latencies
             else None
         )
+        if self.sharded:
+            num_shards = self.catalog.num_shards
+            # per-shard semantics survive replication: a shard's work
+            # is the sum over every pool that ever served it, dead
+            # replicas' history included
+            per_shard = [
+                sum(
+                    self.dispatcher.pool_work[p]
+                    for p in self.catalog.shard_pools(s)
+                    if p < self.dispatcher.pools
+                )
+                for s in range(num_shards)
+            ]
+            replicas = {
+                "counts": [
+                    len(self.catalog.replica_ids(s))
+                    for s in range(num_shards)
+                ],
+                "live": [
+                    len(self.live_replicas(s))
+                    for s in range(num_shards)
+                ],
+                "states": {
+                    f"{s}/{r}": state.value
+                    for (s, r), state in sorted(
+                        self.replica_states.items()
+                    )
+                },
+                "killed": self.replicas_killed,
+                "wedged": self.replicas_wedged,
+                "retired": self.replicas_retired,
+            }
+        else:
+            num_shards = 1
+            per_shard = list(self.dispatcher.pool_work)
+            replicas = {
+                "counts": [1],
+                "live": [1],
+                "states": {},
+                "killed": 0,
+                "wedged": 0,
+                "retired": 0,
+            }
         return {
             "clock_steps": self.clock,
             "ticks": self.dispatcher.ticks,
             "work_steps": self.dispatcher.work_steps,
             "completed": self.completed_count,
             "active": self.dispatcher.active,
-            "shards": self.dispatcher.pools,
+            "shards": num_shards,
             "shard_cancelled": self.shard_cancelled,
-            "per_shard_work": list(self.dispatcher.pool_work),
+            "per_shard_work": per_shard,
+            "per_pool_work": list(self.dispatcher.pool_work),
+            "replicas": replicas,
+            "faults": {
+                "injected": (
+                    len(self.faults.applied)
+                    if self.faults is not None
+                    else 0
+                ),
+                "retries": self.retries,
+                "rerouted": self.rerouted,
+                "degraded": self.degraded,
+                "tasks_failed": self.tasks_failed,
+                "noop": self.faults_noop,
+            },
             "fanout_waste": self.fanout_waste,
             "routing": {
                 "enabled": self.routing,

@@ -182,9 +182,15 @@ class ShardedEntry:
         """Global graph ids stored on ``shard`` (local id = position)."""
         return self.assignment[shard]
 
-    def shard_entry(self, shard: int) -> DatasetEntry:
-        """The shard's warm :class:`DatasetEntry` (reload-transparent)."""
-        return self._catalog.shard_entry(self.name, shard)
+    def shard_entry(
+        self, shard: int, replica: Optional[int] = None
+    ) -> DatasetEntry:
+        """The shard's warm :class:`DatasetEntry` (reload-transparent).
+
+        Any serving replica answers equivalently; ``None`` picks the
+        shard's first serving replica.
+        """
+        return self._catalog.shard_entry(self.name, shard, replica)
 
     @property
     def psi(self):
@@ -204,9 +210,25 @@ class ShardedCatalog:
     datasets (one stored graph) live whole on a deterministic home
     shard.
 
-    ``max_bytes`` is split evenly across shards: each shard catalog
-    enforces its own watermark and evicts independently, so memory
-    accounting — like work — is per shard.  A watermark-evicted shard
+    **Replicas.**  With ``replicas=R`` every shard carries R replica
+    catalogs, each backing its own dispatcher worker pool, so the
+    service can spread a shard's races over replicas and survive a
+    replica's death (:mod:`repro.service.faults`).  Pools are numbered
+    shard-major at construction — ``(shard s, replica 0..R-1)`` maps to
+    pools ``s*R .. s*R+R-1`` — so with ``replicas=1`` pool index ==
+    shard index and the catalog is bit-for-bit the pre-replication
+    layout.  Replica 0 of each shard is the *primary*; the
+    :attr:`shards` property exposes the primaries to keep the PR-4/5
+    view working.  Sibling replicas **share warm artifacts**: the first
+    replica of a shard builds the partition entry (matcher indexes +
+    filter), siblings :meth:`~repro.service.catalog.DatasetCatalog.adopt`
+    the same frozen entry object — sound because entries are immutable
+    after freeze and the prepare cache keys per graph object
+    (``shared_warm`` counts the builds saved).
+
+    ``max_bytes`` is split evenly across replica pools: each replica
+    catalog enforces its own watermark and evicts independently, so
+    memory accounting — like work — is per pool.  A watermark-evicted
     partition is transparently re-registered on next access (the
     ``reloads`` counter ticks), because the sharded catalog retains the
     built collection and assignment.
@@ -218,28 +240,145 @@ class ShardedCatalog:
         overhead: OverheadModel = OverheadModel(),
         max_bytes: Optional[int] = None,
         assignment: str = "size_balanced",
+        replicas: int = 1,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        if max_bytes is not None and max_bytes < num_shards:
-            raise ValueError("max_bytes must be >= num_shards")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if max_bytes is not None and max_bytes < num_shards * replicas:
+            raise ValueError("max_bytes must be >= num_shards * replicas")
         self.num_shards = num_shards
+        self.replicas = replicas
         self.overhead = overhead
         self.assignment_strategy = assignment
-        per_shard = (
-            max_bytes // num_shards if max_bytes is not None else None
+        self._per_replica_bytes = (
+            max_bytes // (num_shards * replicas)
+            if max_bytes is not None
+            else None
         )
-        self.shards = [
-            DatasetCatalog(overhead=overhead, max_bytes=per_shard)
-            for _ in range(num_shards)
+        #: one DatasetCatalog per (shard, replica), in pool order
+        self.pool_catalogs: list[DatasetCatalog] = []
+        #: (shard, replica) -> pool index; retained for released
+        #: replicas so historical pool bills stay attributable
+        self._pool_of: dict[tuple[int, int], int] = {}
+        #: serving-capable replica ids per shard (released ones removed)
+        self._replicas_of: list[list[int]] = [
+            [] for _ in range(num_shards)
         ]
+        #: next replica id per shard — monotone, never reused, so a
+        #: dead replica's id can't be resurrected by a later scale-out
+        self._next_replica_id = [0] * num_shards
+        for shard in range(num_shards):
+            for _ in range(replicas):
+                self._materialize_replica(shard)
         #: transparent re-registrations of watermark-evicted partitions
         self.reloads = 0
         #: completed :meth:`reassign` calls (rebalance bookkeeping)
         self.reassignments = 0
         #: whole stored graphs moved between shards across all reassigns
         self.migrated_graphs = 0
+        #: failed reassigns rolled back to the prior assignment
+        self.rollbacks = 0
+        #: partition builds saved by adopting a sibling replica's entry
+        self.shared_warm = 0
+        #: replicas added / released after construction (scaling + kills)
+        self.replicas_added = 0
+        self.replicas_released = 0
         self._entries: dict[str, ShardedEntry] = {}
+
+    def _materialize_replica(self, shard: int) -> int:
+        """Create one replica catalog + pool slot for ``shard``."""
+        replica = self._next_replica_id[shard]
+        self._next_replica_id[shard] += 1
+        pool = len(self.pool_catalogs)
+        self.pool_catalogs.append(
+            DatasetCatalog(
+                overhead=self.overhead,
+                max_bytes=self._per_replica_bytes,
+            )
+        )
+        self._pool_of[(shard, replica)] = pool
+        self._replicas_of[shard].append(replica)
+        return replica
+
+    # ------------------------------------------------------------------
+    # replica topology
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[DatasetCatalog]:
+        """Primary (replica-0) catalog per shard — the PR-4/5 view."""
+        return [
+            self.pool_catalogs[self._pool_of[(s, 0)]]
+            for s in range(self.num_shards)
+        ]
+
+    @property
+    def pool_count(self) -> int:
+        """Total worker pools (one per replica ever materialized)."""
+        return len(self.pool_catalogs)
+
+    def replica_ids(self, shard: int) -> tuple[int, ...]:
+        """Serving-capable replica ids of ``shard`` (ascending)."""
+        return tuple(self._replicas_of[shard])
+
+    def pool_index(self, shard: int, replica: int) -> int:
+        """The dispatcher pool backing ``(shard, replica)``."""
+        return self._pool_of[(shard, replica)]
+
+    def shard_pools(self, shard: int) -> tuple[int, ...]:
+        """Every pool ever backing ``shard``, released replicas included
+        (per-shard bills must keep counting a dead replica's history)."""
+        return tuple(sorted(
+            pool
+            for (s, _), pool in self._pool_of.items()
+            if s == shard
+        ))
+
+    def catalog_of(self, shard: int, replica: int) -> DatasetCatalog:
+        """``(shard, replica)``'s backing catalog (KeyError if never
+        materialized)."""
+        return self.pool_catalogs[self._pool_of[(shard, replica)]]
+
+    def add_replica(self, shard: int) -> int:
+        """Materialize one more replica of ``shard`` and warm it.
+
+        Every loaded dataset with graphs on the shard is installed on
+        the new replica by adopting a sibling's frozen entry (no
+        rebuild).  Returns the new replica id.  Callers growing a live
+        service must go through ``Service.add_replica`` so the
+        dispatcher grows its pool in lockstep.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range (catalog has "
+                f"{self.num_shards} shards)"
+            )
+        replica = self._materialize_replica(shard)
+        for name in self.datasets():
+            entry = self._entries[name]
+            if entry.assignment[shard]:
+                self._register_replica(entry, shard, replica)
+        self.replicas_added += 1
+        return replica
+
+    def release_replica(self, shard: int, replica: int) -> None:
+        """Drop a replica from serving (kill or quiesce retirement).
+
+        Its warm state is unloaded and it never serves again; its pool
+        slot and historical bills remain attributable through
+        :meth:`shard_pools`.  Releasing an unknown or already-released
+        replica is a no-op.
+        """
+        ids = self._replicas_of[shard]
+        if replica not in ids:
+            return
+        ids.remove(replica)
+        catalog = self.catalog_of(shard, replica)
+        for name in list(catalog.datasets()):
+            catalog.unload(name)
+        self.replicas_released += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -311,29 +450,65 @@ class ShardedCatalog:
 
     def _register_shard(
         self, entry: ShardedEntry, shard: int
-    ) -> DatasetEntry:
-        """(Re-)register one partition on its shard catalog.
+    ) -> Optional[DatasetEntry]:
+        """(Re-)register one partition on every replica of its shard.
 
-        Every (re-)registration also re-folds the shard's routing
-        sketch from the fresh filter index, so watermark-eviction
-        reloads and rebalance migrations can never leave a stale
-        sketch behind.
+        The first replica builds (or keeps) the partition entry; its
+        siblings adopt the same frozen object (see
+        :meth:`_register_replica`).  Every (re-)registration also
+        re-folds the shard's routing sketch from the fresh filter
+        index, so watermark-eviction reloads and rebalance migrations
+        can never leave a stale sketch behind.  A shard with no
+        serving replica (all killed/retired) registers nothing and
+        returns ``None`` — the service degrades queries needing it.
         """
+        sub: Optional[DatasetEntry] = None
+        for replica in self.replica_ids(shard):
+            got = self._register_replica(entry, shard, replica)
+            if sub is None:
+                sub = got
+        if entry.router is not None and sub is not None:
+            entry.router.refresh(shard, sub.ftv_index)
+        return sub
+
+    def _register_replica(
+        self, entry: ShardedEntry, shard: int, replica: int
+    ) -> DatasetEntry:
+        """(Re-)register one partition on one replica catalog.
+
+        When a sibling replica already holds the identical partition
+        (same graph objects in the same order), its frozen entry is
+        adopted instead of rebuilt — that is the warm-artifact sharing
+        the replication layer is allowed: entries are immutable after
+        freeze, so replicas serving the same object cannot diverge.
+        """
+        catalog = self.catalog_of(shard, replica)
+        part = [entry.graphs[g] for g in entry.assignment[shard]]
+        for sibling in self.replica_ids(shard):
+            if sibling == replica:
+                continue
+            donor = self.catalog_of(shard, sibling)._entries.get(
+                entry.name
+            )
+            if (
+                donor is not None
+                and len(donor.graphs) == len(part)
+                and all(a is b for a, b in zip(donor.graphs, part))
+            ):
+                self.shared_warm += 1
+                return catalog.adopt(donor)
         scale, algorithms, ftv_method, max_path_length = (
             entry._register_config
         )
-        sub = self.shards[shard].register(
+        return catalog.register(
             entry.name,
-            [entry.graphs[g] for g in entry.assignment[shard]],
+            part,
             kind=entry.kind,
             scale=scale,
             algorithms=algorithms,
             ftv_method=ftv_method,
             max_path_length=max_path_length,
         )
-        if entry.router is not None:
-            entry.router.refresh(shard, sub.ftv_index)
-        return sub
 
     def get(self, name: str) -> ShardedEntry:
         """The sharded entry for ``name`` (KeyError when never loaded)."""
@@ -345,22 +520,40 @@ class ShardedCatalog:
             )
         return entry
 
-    def shard_entry(self, name: str, shard: int) -> DatasetEntry:
+    def shard_entry(
+        self, name: str, shard: int, replica: Optional[int] = None
+    ) -> DatasetEntry:
         """One shard's warm partition entry.
 
-        A partition the shard catalog watermark-evicted is transparently
-        re-registered here (the sharded catalog still holds the graphs
-        and the assignment), so eviction trades latency for memory
-        without ever turning a loaded dataset into an error.
+        ``replica`` defaults to the shard's first serving replica; any
+        serving replica returns an equivalent (usually the identical,
+        adopted) entry.  A partition the replica catalog
+        watermark-evicted is transparently re-registered here (the
+        sharded catalog still holds the graphs and the assignment), so
+        eviction trades latency for memory without ever turning a
+        loaded dataset into an error.  A shard with no serving replica
+        raises KeyError — that is the "dark shard" the service turns
+        into a degraded ticket.
         """
         entry = self.get(name)
         if not entry.assignment[shard]:
             raise KeyError(f"shard {shard} holds no graphs of {name!r}")
+        ids = self._replicas_of[shard]
+        if replica is None:
+            if not ids:
+                raise KeyError(
+                    f"shard {shard} has no serving replica for {name!r}"
+                )
+            replica = ids[0]
+        elif replica not in ids:
+            raise KeyError(
+                f"replica {shard}/{replica} is not serving {name!r}"
+            )
         try:
-            return self.shards[shard].get(name)
+            return self.catalog_of(shard, replica).get(name)
         except KeyError:
             self.reloads += 1
-            return self._register_shard(entry, shard)
+            return self._register_replica(entry, shard, replica)
 
     def reassign(
         self,
@@ -413,39 +606,88 @@ class ShardedCatalog:
             len(set(new[s]) - set(old[s])) for s in changed
         )
         entry.assignment = new
-        for shard in changed:
-            self.shards[shard].unload(name)
-            if new[shard]:
-                self._register_shard(entry, shard)
-            elif entry.router is not None:
-                entry.router.refresh(shard, None)
+        touched: list[int] = []
+        try:
+            for shard in changed:
+                touched.append(shard)
+                self._unload_shard(name, shard)
+                if new[shard]:
+                    self._register_shard(entry, shard)
+                elif entry.router is not None:
+                    entry.router.refresh(shard, None)
+        except Exception:
+            # a re-register failed mid-migration: roll back to the
+            # prior assignment so no half-applied epoch can serve.
+            # Only the shards this call touched are rebuilt; the
+            # failing build's partial state is unloaded with them.
+            entry.assignment = old
+            for shard in touched:
+                self._unload_shard(name, shard)
+                if old[shard]:
+                    self._register_shard(entry, shard)
+                elif entry.router is not None:
+                    entry.router.refresh(shard, None)
+            if entry.router is not None:
+                entry.router.bump()
+            self.rollbacks += 1
+            raise
         if entry.router is not None:
             entry.router.bump()
         self.reassignments += 1
         self.migrated_graphs += moved
         return changed
 
+    def _unload_shard(self, name: str, shard: int) -> None:
+        """Drop ``name`` from every serving replica of ``shard``."""
+        for replica in self.replica_ids(shard):
+            self.catalog_of(shard, replica).unload(name)
+
     def unload(self, name: str) -> None:
-        """Drop a dataset from every shard (explicit, final)."""
+        """Drop a dataset from every replica pool (explicit, final)."""
         self._entries.pop(name, None)
-        for shard in self.shards:
-            shard.unload(name)
+        for catalog in self.pool_catalogs:
+            catalog.unload(name)
 
     def datasets(self) -> list[str]:
         """Names of the loaded datasets."""
         return sorted(self._entries)
 
     def memory_report(self) -> dict:
-        """Per-shard memory accounting plus catalog-wide totals."""
-        per = [shard.memory_report() for shard in self.shards]
+        """Per-shard memory accounting plus catalog-wide totals.
+
+        ``shards`` reports the primary (replica-0) catalogs — the
+        pre-replication view — while totals and eviction counters sum
+        over every replica pool.  ``total_bytes`` deliberately counts
+        an adopted (shared) entry once per replica holding it: that is
+        the watermark each replica catalog enforces, so the report and
+        the eviction behaviour agree even though shared objects make
+        the true resident set smaller.
+        """
+        per_pool = [c.memory_report() for c in self.pool_catalogs]
+        primaries = [
+            per_pool[self._pool_of[(s, 0)]]
+            for s in range(self.num_shards)
+        ]
         return {
             "num_shards": self.num_shards,
-            "shards": per,
-            "total_bytes": sum(r["total_bytes"] for r in per),
-            "evictions": sum(r["evictions"] for r in per),
+            "replicas": [
+                len(self.replica_ids(s))
+                for s in range(self.num_shards)
+            ],
+            "shards": primaries,
+            "pools": {
+                f"{s}/{r}": per_pool[pool]
+                for (s, r), pool in sorted(self._pool_of.items())
+            },
+            "total_bytes": sum(r["total_bytes"] for r in per_pool),
+            "evictions": sum(r["evictions"] for r in per_pool),
             "reloads": (
-                self.reloads + sum(r["reloads"] for r in per)
+                self.reloads + sum(r["reloads"] for r in per_pool)
             ),
+            "shared_warm": self.shared_warm,
+            "rollbacks": self.rollbacks,
+            "replicas_added": self.replicas_added,
+            "replicas_released": self.replicas_released,
             "reassignments": self.reassignments,
             "migrated_graphs": self.migrated_graphs,
             "datasets": {

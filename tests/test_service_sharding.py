@@ -168,6 +168,43 @@ class TestShardedCatalog:
         with pytest.raises(KeyError):
             cat.get("ppi")
 
+    def test_reassign_rolls_back_on_failed_reregister(self):
+        """A re-register failure mid-reassign must not leave a
+        half-applied assignment: the catalog restores the prior
+        layout, bumps the routing epoch, and keeps serving."""
+        cat = ShardedCatalog(num_shards=2)
+        entry = cat.load("ppi", scale="tiny")
+        before = entry.assignment
+        epoch = entry.router.epoch
+        new = [list(ids) for ids in before]
+        # move one graph each way so BOTH shards change (two
+        # re-register calls; the second one will blow up)
+        a, b = new[0][-1], new[1][-1]
+        new[0].remove(a); new[1].append(a)
+        new[1].remove(b); new[0].append(b)
+        real = cat._register_shard
+        calls = {"n": 0}
+
+        def flaky(entry, shard):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("index build died")
+            return real(entry, shard)
+
+        cat._register_shard = flaky
+        with pytest.raises(RuntimeError, match="index build died"):
+            cat.reassign("ppi", new)
+        cat._register_shard = real
+        assert entry.assignment == before
+        assert cat.rollbacks == 1
+        assert cat.reassignments == 0
+        assert cat.migrated_graphs == 0
+        assert entry.router.epoch > epoch  # stale plans invalidated
+        # both shards serve the *old* partitions again
+        for shard in (0, 1):
+            sub = entry.shard_entry(shard)
+            assert len(sub.graphs) == len(before[shard])
+
 
 class TestMergeOutcomes:
     @staticmethod
