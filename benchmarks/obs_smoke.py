@@ -1,0 +1,305 @@
+#!/usr/bin/env python
+"""CI obs-smoke: the observability layer end to end, over a real socket.
+
+What it proves, in order:
+
+1. **Digest guard** — the committed ``BENCH_service.json`` digests are
+   untouched by the observability refactor (the registry-backed
+   ``Service.stats()`` is value-identical to the pre-refactor dict).
+2. **Socket equivalence** — ``repro serve --listen`` is started as a
+   subprocess, a seeded workload is driven through ``POST /query``, and
+   every per-query result plus every deterministic stats key equals an
+   in-process run of the same workload on an identically-configured
+   service: the wall-clock front door adds zero perturbation.
+3. **Trace contract** — ``GET /trace/<id>`` of the last ticket returns
+   a closed, rooted span tree with fan-out legs, and ``GET /watch``
+   streams schema-complete delta frames.
+4. **Chaos traces** — an in-process chaos drill (2x2, mid-flight kills)
+   yields a fault-touched ticket whose trace shows the kill, the lost
+   leg, the retry, and the recovered leg — the acceptance drill's
+   observable story.
+
+Run:  PYTHONPATH=src python benchmarks/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.cli import _build_service, build_parser  # noqa: E402
+from repro.obs.client import ObsClient  # noqa: E402
+from repro.service import QueryOptions  # noqa: E402
+from repro.workload import (  # noqa: E402
+    default_tenant_mixes,
+    generate_tenant_stream,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BENCH_PATH = os.path.join(HERE, "BENCH_service.json")
+
+#: the committed digests (machine-independent); the observability
+#: refactor must not move a single one
+PINNED = {
+    "digest": "99bbaa6775efd058",
+    "answers_digest": "7d647691829e14ba",
+    "decisions_digest": "cd82b1c5f364ca52",
+}
+PINNED_ANSWERS = "f85cb3c4a7aacd14"
+
+SERVE_ARGS = [
+    "--dataset", "ppi", "--scale", "tiny",
+    "--shards", "2", "--replicas", "2", "--workers", "4",
+]
+
+#: stats keys that are pure functions of the submission history
+DETERMINISTIC_KEYS = (
+    "clock_steps", "ticks", "work_steps", "completed", "active",
+    "shards", "shard_cancelled", "per_shard_work", "per_pool_work",
+    "replicas", "faults", "fanout_waste", "routing", "latency_steps",
+    "admission",
+)
+
+FTV_OPTS = {"rewritings": ["Orig", "DND"]}
+
+
+def check(cond: bool, message: str) -> None:
+    if not cond:
+        raise SystemExit(f"obs-smoke FAILED: {message}")
+
+
+def guard_committed_digests() -> None:
+    with open(BENCH_PATH) as fh:
+        payload = json.load(fh)
+    for key, want in PINNED.items():
+        check(
+            payload[key] == want,
+            f"BENCH_service.json {key} moved: {payload[key]} != {want}",
+        )
+    sections = {
+        "sharding.single": payload["sharding"]["single"]["answers_digest"],
+        "sharding.sharded": payload["sharding"]["sharded"]["answers_digest"],
+        "routing": payload["routing"]["full_answers_digest"],
+        "chaos.healthy": payload["chaos"]["healthy_answers_digest"],
+        "chaos.chaos": payload["chaos"]["chaos_answers_digest"],
+    }
+    for name, got in sections.items():
+        check(
+            got == PINNED_ANSWERS,
+            f"BENCH_service.json {name} answers moved: {got}",
+        )
+    print(f"[1/4] committed digests untouched ({PINNED['digest']})")
+
+
+def build_local_service():
+    args = build_parser().parse_args(["serve", *SERVE_ARGS])
+    service, _ = _build_service(args, with_streams=False)
+    return service
+
+
+def seeded_workload(service, per_tenant=6, seed=9):
+    graphs = service.catalog.get("ppi").graphs
+    mixes = default_tenant_mixes(
+        2, per_tenant, sizes=(4, 6), repeat_fraction=0.3
+    )
+    out = []
+    for mix in mixes:
+        for mq in generate_tenant_stream(graphs, mix, seed=seed):
+            out.append((mix.tenant, mq.query.graph))
+    return out
+
+
+def start_server() -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(HERE, os.pardir, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--listen", "127.0.0.1:0", *SERVE_ARGS],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise SystemExit(
+                "obs-smoke FAILED: server exited before binding"
+            )
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    raise SystemExit("obs-smoke FAILED: no listening line within 60s")
+
+
+def socket_equivalence() -> int:
+    local = build_local_service()
+    workload = seeded_workload(local)
+    options = QueryOptions(rewritings=("Orig", "DND"))
+
+    local_results = []
+    for tenant, graph in workload:
+        ticket = local.submit("ppi", graph, tenant, options)
+        local.run_until_idle()
+        r = ticket.result
+        local_results.append(
+            (r.found, r.steps, r.winner_label, ticket.latency,
+             sorted(r.matching_ids))
+        )
+
+    proc, host, port = start_server()
+    last_ticket = -1
+    try:
+        client = ObsClient(host, port)
+        remote_results = []
+        for tenant, graph in workload:
+            status, payload, _ = client.submit(
+                "ppi", graph, tenant=tenant, options=FTV_OPTS
+            )
+            check(status == 200, f"POST /query -> {status}: {payload}")
+            r = payload["result"]
+            remote_results.append(
+                (r["found"], r["steps"], r["winner"],
+                 payload["latency_steps"], sorted(r["matching_ids"]))
+            )
+            last_ticket = payload["ticket_id"]
+        check(
+            remote_results == local_results,
+            "socket results diverged from the in-process run",
+        )
+
+        remote_stats = client.stats()["stats"]
+        local_stats = local.stats()
+        for key in DETERMINISTIC_KEYS:
+            check(
+                remote_stats[key] == local_stats[key],
+                f"stats[{key!r}] diverged: "
+                f"{remote_stats[key]} != {local_stats[key]}",
+            )
+        print(
+            f"[2/4] socket == in-process: {len(workload)} queries, "
+            f"clock {remote_stats['clock_steps']}, "
+            f"work {remote_stats['work_steps']}"
+        )
+
+        status, trace = client.trace(last_ticket)
+        check(status == 200, f"GET /trace/{last_ticket} -> {status}")
+        spans = trace["spans"]
+        check(spans[0]["name"] == "ticket", "trace not rooted at ticket")
+        check(trace["done"], "trace of a DONE ticket not finished")
+        check(
+            all(s["end"] is not None for s in spans),
+            "open span in a terminal trace",
+        )
+        names = [s["name"] for s in spans]
+        check("leg" in names, "no fan-out leg span in trace")
+        check("tree" in trace, "no span tree in trace payload")
+
+        frames = list(client.watch(frames=2, interval=0.05))
+        check(len(frames) == 2, f"watch yielded {len(frames)} frames")
+        wanted = {
+            "seq", "clock", "completed", "delta_completed",
+            "latency_steps", "per_shard_work", "fanout_waste",
+            "cache_hit_rate", "replicas_live", "queued", "active",
+            "degraded", "retries", "throughput_qps",
+        }
+        for frame in frames:
+            missing = wanted - set(frame)
+            check(not missing, f"watch frame missing keys: {missing}")
+        print(
+            f"[3/4] /trace/{last_ticket} ({len(spans)} spans) and "
+            f"/watch (2 frames) schema-complete"
+        )
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+    return last_ticket
+
+
+def chaos_trace_drill() -> None:
+    from repro.service import FaultEvent, FaultInjector, run_closed_loop
+
+    service = build_local_service()
+    graphs = service.catalog.get("ppi").graphs
+    mixes = default_tenant_mixes(2, 8, sizes=(4, 6), repeat_fraction=0.3)
+    streams = {
+        m.tenant: generate_tenant_stream(graphs, m, seed=9)
+        for m in mixes
+    }
+    faults = FaultInjector([
+        FaultEvent(at=3 + s, kind="kill", shard=s, replica=-1,
+                   unit="completions", seq=s)
+        for s in range(2)
+    ])
+    report = run_closed_loop(
+        service, "ppi", streams,
+        options=QueryOptions(rewritings=("Orig", "DND")),
+        concurrency=2, faults=faults,
+    )
+    check(service.rerouted >= 1, "chaos drill rerouted nothing")
+    check(
+        all(t.done for t in report.tickets),
+        "chaos drill lost a ticket",
+    )
+    story = None
+    for ticket in report.completed:
+        if ticket.retries == 0:
+            continue
+        trace = service.trace(ticket.id)
+        if trace is None:
+            continue
+        kills = trace.find("fault_kill")
+        retries = trace.find("retry")
+        lost = [
+            leg for leg in trace.find("leg")
+            if leg.attrs.get("outcome") == "lost"
+        ]
+        recovered = [
+            leg for leg in trace.find("leg")
+            if "retry" in leg.attrs and "outcome" not in leg.attrs
+        ]
+        if kills and retries and lost and recovered:
+            check(trace.done, "fault-touched trace not finished")
+            check(
+                all(s.closed for s in trace.spans),
+                "open span in fault-touched trace",
+            )
+            story = (ticket.id, len(kills), len(lost), len(recovered))
+            break
+    check(
+        story is not None,
+        "no fault-touched ticket shows kill/reroute/recovery spans",
+    )
+    tid, kills, lost, recovered = story
+    print(
+        f"[4/4] chaos trace: ticket {tid} shows {kills} kill(s), "
+        f"{lost} lost leg(s), {recovered} recovered leg(s)"
+    )
+
+
+def main() -> int:
+    guard_committed_digests()
+    socket_equivalence()
+    chaos_trace_drill()
+    print("obs-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -345,8 +345,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 # serving layer
 # ----------------------------------------------------------------------
 
-def _build_service(args: argparse.Namespace):
-    """A Service + per-tenant streams for serve/bench-serve."""
+def _build_service(args: argparse.Namespace, with_streams: bool = True):
+    """A Service + per-tenant streams for serve/bench-serve.
+
+    ``with_streams=False`` (the ``serve --listen`` network path) boots
+    the warmed service without generating a synthetic workload —
+    queries arrive over the socket instead.
+    """
     from .service import Service
     from .service.admission import AdmissionController, TenantPolicy
     from .workload import default_tenant_mixes, generate_tenant_stream
@@ -398,6 +403,8 @@ def _build_service(args: argparse.Namespace):
             else {}
         ),
     )
+    if not with_streams:
+        return service, {}
     # the catalog already built + froze the graphs: grow the workload
     # streams from them instead of re-building the dataset
     graphs = service.catalog.get(args.dataset).graphs
@@ -488,9 +495,49 @@ def _build_faults(args: argparse.Namespace):
     )
 
 
+def _parse_listen(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        raise SystemExit(f"--listen wants HOST:PORT, got {spec!r}")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad --listen port in {spec!r}") from None
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Boot the serving layer and replay a multi-tenant workload."""
+    """Boot the serving layer and replay a multi-tenant workload,
+    or (with ``--listen HOST:PORT``) run the asyncio front door."""
     from .service import run_closed_loop
+
+    if args.listen:
+        from .obs.server import DEFAULT_STEPS_PER_SECOND, run_front_door
+
+        host, port = _parse_listen(args.listen)
+        steps_per_second = (
+            args.steps_per_second
+            if args.steps_per_second is not None
+            else DEFAULT_STEPS_PER_SECOND
+        )
+        service, _ = _build_service(args, with_streams=False)
+
+        def ready(bound_host: str, bound_port: int) -> None:
+            _print(f"listening on {bound_host}:{bound_port}")
+            _print(
+                f"dataset {args.dataset} ({args.scale}), "
+                f"{args.shards} shard(s) x {args.replicas} replica(s), "
+                f"{args.workers} workers per pool"
+            )
+            sys.stdout.flush()
+
+        run_front_door(
+            service,
+            host,
+            port,
+            steps_per_second=steps_per_second,
+            ready=ready,
+        )
+        return 0
 
     service, streams = _build_service(args)
     rebalancer, every = _build_rebalancer(service, args)
@@ -571,6 +618,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"  {t.tenant} {t.query.name}: {r.winner_label} "
                 f"in {r.steps} steps, latency {t.latency}{marker}"
             )
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Follow a front door's ``/watch`` stream, one line per frame."""
+    from .obs.client import ObsClient
+
+    host, port = _parse_listen(args.endpoint)
+    client = ObsClient(host, port)
+    try:
+        for frame in client.watch(
+            frames=args.frames, interval=args.interval
+        ):
+            lat = frame.get("latency_steps") or {}
+            _print(
+                f"[{frame['seq']:>4}] clock={frame['clock']} "
+                f"done={frame['completed']} "
+                f"(+{frame['delta_completed']}, "
+                f"{frame['throughput_qps']:.1f} q/s) "
+                f"p50={lat.get('p50', '-')} p95={lat.get('p95', '-')} "
+                f"waste={frame['fanout_waste']} "
+                f"cache={100 * frame['cache_hit_rate']:.0f}% "
+                f"replicas={frame['replicas_live']} "
+                f"queued={frame['queued']} active={frame['active']} "
+                f"degraded={frame['degraded']}"
+            )
+            sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    except (ConnectionError, OSError) as exc:
+        _print(f"tail: cannot reach {host}:{port} ({exc})")
+        return 1
     return 0
 
 
@@ -806,7 +885,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_args(p)
     p.add_argument("--verbose", action="store_true",
                    help="print one line per completed query")
+    p.add_argument("--listen", metavar="HOST:PORT", default=None,
+                   help="serve queries over an asyncio front door "
+                        "instead of replaying a synthetic workload "
+                        "(port 0 picks a free port; see GET /stats, "
+                        "GET /trace/<id>, GET /watch, POST /query)")
+    p.add_argument("--steps-per-second", type=int, default=None,
+                   help="virtual steps per wall second, used only to "
+                        "render Retry-After hints on 429s "
+                        "(default 1,000,000)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "tail",
+        help="follow a running front door's /watch stream",
+    )
+    p.add_argument("endpoint", metavar="HOST:PORT",
+                   help="address printed by `repro serve --listen`")
+    p.add_argument("--frames", type=int, default=0,
+                   help="stop after this many frames (0 = forever)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between frames")
+    p.set_defaults(fn=cmd_tail)
 
     p = sub.add_parser(
         "bench-serve",

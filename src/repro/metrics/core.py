@@ -229,6 +229,18 @@ def percentile(values: Sequence[float], q: float) -> float:
     The serving layer reports simulated-step latencies as p50/p95/p99;
     nearest-rank keeps the result an actually-observed latency (and the
     whole pipeline integer-valued), unlike interpolating estimators.
+
+    Edge cases are part of the bench-digest contract and pinned by
+    ``tests/test_metrics.py`` (audited for the observability layer):
+
+    * ``n == 0`` raises ``ValueError`` — callers render ``None``, never
+      a fabricated zero.
+    * ``n == 1`` returns that value for **every** ``q``, including 0.
+    * ``n == 2``: ``rank = ceil(q / 50)``, so q in (0, 50] hits the
+      smaller value and q in (50, 100] the larger — p50 is the *lower*
+      of two samples, not their midpoint.
+    * Ties are returned verbatim (the sort is stable and the result is
+      always a member of ``values``).
     """
     if not values:
         raise ValueError("no values")

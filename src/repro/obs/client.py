@@ -1,0 +1,135 @@
+"""Blocking HTTP client for the observability front door.
+
+Stdlib-only (``http.client``) helpers used by the ``repro tail`` CLI,
+the server tests, and the CI ``obs-smoke`` driver.  Deliberately
+synchronous: callers that drive deterministic comparisons submit one
+query at a time and want the response before the next submit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..graphs import LabeledGraph
+
+__all__ = [
+    "ObsClient",
+    "query_payload",
+]
+
+
+def query_payload(graph: LabeledGraph) -> Dict[str, Any]:
+    """The ``POST /query`` wire rendering of one query graph
+    (:func:`repro.graphs.io.graph_to_json`'s payload shape)."""
+    return {
+        "name": graph.name,
+        "labels": list(graph.labels),
+        "edges": [
+            [u, v, graph.edge_label(u, v)] for u, v in graph.edges()
+        ],
+    }
+
+
+class ObsClient:
+    """One front-door endpoint, many one-shot requests."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """One request; returns (status, parsed JSON, lowercase headers)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else None
+            return (
+                response.status,
+                parsed,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        status, payload, _ = self.request("GET", "/stats")
+        if status != 200:
+            raise RuntimeError(f"/stats returned {status}: {payload}")
+        return payload
+
+    def trace(self, ticket_id: int) -> Tuple[int, Optional[dict]]:
+        status, payload, _ = self.request("GET", f"/trace/{ticket_id}")
+        return status, payload
+
+    def submit(
+        self,
+        dataset: str,
+        graph: LabeledGraph,
+        tenant: str = "public",
+        options: Optional[dict] = None,
+        budget_steps: Optional[int] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """Submit one query and block until its response."""
+        body: Dict[str, Any] = {
+            "dataset": dataset,
+            "tenant": tenant,
+            "query": query_payload(graph),
+        }
+        if options:
+            body["options"] = options
+        if budget_steps is not None:
+            body["budget_steps"] = budget_steps
+        return self.request("POST", "/query", body)
+
+    def watch(
+        self, frames: int = 0, interval: float = 1.0
+    ) -> Iterator[dict]:
+        """Consume ``/watch``, yielding one frame dict per interval."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=max(self.timeout, interval * 10)
+        )
+        try:
+            conn.request(
+                "GET", f"/watch?frames={frames}&interval={interval}"
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raise RuntimeError(
+                    f"/watch returned {response.status}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

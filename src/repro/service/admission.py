@@ -32,6 +32,7 @@ from enum import Enum
 from typing import Optional
 
 from ..graphs import LabeledGraph
+from ..obs import Counter, MetricsRegistry, counter_property
 from ..scheduling import FairShareLedger
 
 __all__ = ["TicketState", "TenantPolicy", "Ticket", "AdmissionController"]
@@ -128,6 +129,12 @@ class Ticket:
 class AdmissionController:
     """Queue + fair-share gate in front of the dispatcher."""
 
+    #: legacy int surface over the registry-visible counters
+    rejected = counter_property("_m_rejected")
+    admitted = counter_property("_m_admitted")
+    coalesced = counter_property("_m_coalesced")
+    plan_seeded = counter_property("_m_plan_seeded")
+
     def __init__(
         self,
         default_policy: TenantPolicy = TenantPolicy(),
@@ -143,12 +150,27 @@ class AdmissionController:
         self._queues: dict[str, list[Ticket]] = {}
         self._in_flight: dict[str, int] = {}
         self._ids = itertools.count()
-        self.rejected = 0
-        self.admitted = 0
-        self.coalesced = 0
-        self.plan_seeded = 0
+        self._m_rejected = Counter()
+        self._m_admitted = Counter()
+        self._m_coalesced = Counter()
+        self._m_plan_seeded = Counter()
         #: per-tenant count of followers currently riding a leader
         self._coalesced_backlog: dict[str, int] = {}
+
+    def register_metrics(
+        self, registry: MetricsRegistry, prefix: str = "admission"
+    ) -> None:
+        """Publish this controller's counters + gauges into ``registry``."""
+        registry.register(f"{prefix}.admitted", self._m_admitted)
+        registry.register(f"{prefix}.rejected", self._m_rejected)
+        registry.register(f"{prefix}.coalesced", self._m_coalesced)
+        registry.register(f"{prefix}.plan_seeded", self._m_plan_seeded)
+        registry.gauge(f"{prefix}.queued", lambda: self.queued())
+        registry.gauge(f"{prefix}.in_flight", lambda: self.in_flight())
+        registry.gauge(
+            f"{prefix}.charged_steps",
+            lambda: {str(k): v for k, v in self.ledger.snapshot().items()},
+        )
 
     def policy(self, tenant: str) -> TenantPolicy:
         """The effective policy for ``tenant``."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import Counter, MetricsRegistry, counter_property
 from ..psi.executors import (
     DEFAULT_RACE_QUANTUM,
     RaceOutcome,
@@ -41,6 +42,10 @@ __all__ = ["RaceTask", "Dispatcher"]
 
 class Dispatcher:
     """Bounded worker pools interleaving many :class:`RaceTask`\\ s."""
+
+    #: legacy int surface over the registry-visible counters
+    ticks = counter_property("_m_ticks")
+    work_steps = counter_property("_m_work_steps")
 
     def __init__(
         self,
@@ -56,15 +61,26 @@ class Dispatcher:
         self.quantum = quantum
         self.pools = pools
         self.clock = 0
-        self.ticks = 0
+        self._m_ticks = Counter()
         #: total engine-steps executed across all races (work, not time)
-        self.work_steps = 0
+        self._m_work_steps = Counter()
         #: per-pool engine-step bills — the per-shard load signal the
         #: rebalancer watches (pool_work[p] sums over the races pool p ran)
         self.pool_work = [0] * pools
         self._active: dict[object, RaceTask] = {}
         #: token -> pool index the race is pinned to
         self._pool_of: dict[object, int] = {}
+
+    def register_metrics(
+        self, registry: MetricsRegistry, prefix: str = "dispatcher"
+    ) -> None:
+        """Publish this dispatcher's counters + gauges into ``registry``."""
+        registry.register(f"{prefix}.ticks", self._m_ticks)
+        registry.register(f"{prefix}.work_steps", self._m_work_steps)
+        registry.gauge(f"{prefix}.clock", lambda: self.clock)
+        registry.gauge(f"{prefix}.active", lambda: self.active)
+        registry.gauge(f"{prefix}.pools", lambda: self.pools)
+        registry.gauge(f"{prefix}.pool_work", lambda: list(self.pool_work))
 
     def add_pool(self) -> int:
         """Grow the dispatcher by one worker pool (replica scale-out).

@@ -166,6 +166,24 @@ class FaultInjector:
             "pending": len(self._pending),
         }
 
+    def register_metrics(self, registry, prefix: str = "faults") -> None:
+        """Publish schedule progress gauges into a metrics registry.
+
+        ``replace=True`` throughout: chaos drills install fresh
+        injectors against a long-lived service.
+        """
+        registry.gauge(
+            f"{prefix}.planned",
+            lambda: len(self.applied) + len(self._pending),
+            replace=True,
+        )
+        registry.gauge(
+            f"{prefix}.applied", lambda: len(self.applied), replace=True
+        )
+        registry.gauge(
+            f"{prefix}.pending", lambda: len(self._pending), replace=True
+        )
+
 
 def chaos_plan(
     seed: int,

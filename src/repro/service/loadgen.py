@@ -74,9 +74,17 @@ class LoadReport:
         ]
 
     def as_json(self) -> dict:
-        """The BENCH_service.json payload."""
+        """The BENCH_service.json payload.
+
+        Measured sections come straight from the service's metrics
+        registry snapshot (``service_stats``) — including
+        ``latency_steps``, which this method used to re-derive by hand
+        from the ticket list.  The registry observes exactly one
+        latency per DONE ticket (cache hits at 0), so the two
+        derivations are value-identical; the snapshot is authoritative
+        because it is what ``GET /stats`` and ``/watch`` serve.
+        """
         done = self.completed
-        latencies = [t.latency or 0 for t in done]
         per_tenant: dict[str, dict] = {}
         for t in self.tickets:
             row = per_tenant.setdefault(
@@ -115,11 +123,7 @@ class LoadReport:
                     else 0.0
                 ),
             },
-            "latency_steps": (
-                summarize_latencies(latencies).as_dict()
-                if latencies
-                else None
-            ),
+            "latency_steps": self.service_stats["latency_steps"],
             "tenants": per_tenant,
             "result_cache": self.service_stats["result_cache"],
             "prepare_cache": self.service_stats["prepare_cache"],

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import Counter, counter_property
 from ..scheduling import skew_ratio
 from .sharding import ShardedCatalog
 
@@ -121,15 +122,50 @@ class Rebalancer:
         #: every migration applied, in order
         self.migrations: list[Migration] = []
         #: quiesce checks that actually moved at least one graph
-        self.rebalances = 0
+        self._m_rebalances = Counter()
         #: quiesce checks that found no actionable skew
-        self.skipped = 0
+        self._m_skipped = Counter()
         #: quiesce checks no-opped by a degenerate topology
-        self.degenerate = 0
+        self._m_degenerate = Counter()
         #: replica scale-out/-in events applied
-        self.replicas_grown = 0
-        self.replicas_shrunk = 0
+        self._m_replicas_grown = Counter()
+        self._m_replicas_shrunk = Counter()
         self.replica_changes: list[dict] = []
+        registry = getattr(service, "metrics", None)
+        if registry is not None:
+            # a service may see several Rebalancer configs over its
+            # life (benches re-wrap the same service), so re-register
+            self._register_metrics(registry)
+
+    #: legacy int surface over the registry-visible counters
+    rebalances = counter_property("_m_rebalances")
+    skipped = counter_property("_m_skipped")
+    degenerate = counter_property("_m_degenerate")
+    replicas_grown = counter_property("_m_replicas_grown")
+    replicas_shrunk = counter_property("_m_replicas_shrunk")
+
+    def _register_metrics(self, registry, prefix: str = "rebalance") -> None:
+        registry.register(
+            f"{prefix}.rebalances", self._m_rebalances, replace=True
+        )
+        registry.register(
+            f"{prefix}.skipped_checks", self._m_skipped, replace=True
+        )
+        registry.register(
+            f"{prefix}.degenerate_checks", self._m_degenerate, replace=True
+        )
+        registry.register(
+            f"{prefix}.replicas_grown", self._m_replicas_grown, replace=True
+        )
+        registry.register(
+            f"{prefix}.replicas_shrunk", self._m_replicas_shrunk, replace=True
+        )
+        registry.gauge(
+            f"{prefix}.migrations", lambda: len(self.migrations), replace=True
+        )
+        registry.gauge(
+            f"{prefix}.window_loads", self.window_loads, replace=True
+        )
 
     # ------------------------------------------------------------------
     # signal

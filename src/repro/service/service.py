@@ -37,6 +37,7 @@ from typing import Optional
 
 from ..graphs import LabeledGraph
 from ..matching import Budget, MatchOutcome, VF2Matcher
+from ..obs import MetricsRegistry, Tracer, counter_property
 from ..psi.advisor import VariantAdvisor, query_features
 from ..psi.executors import (
     DEFAULT_RACE_QUANTUM,
@@ -181,6 +182,14 @@ def decisions_digest(tickets: list[Ticket]) -> str:
     return hashlib.sha256("\n".join(lines).encode()).hexdigest()[:16]
 
 
+def _prepare_cache_metrics() -> dict:
+    """Process-global prepared-graph cache counters (import deferred:
+    ``repro.caching`` must not load at service-import time)."""
+    from ..caching import prepare_cache
+
+    return prepare_cache.stats.as_metrics()
+
+
 @dataclass
 class _FanoutState:
     """Merge bookkeeping for one ticket's per-shard races.
@@ -205,6 +214,8 @@ class _FanoutState:
     #: shard -> replica its in-flight leg is placed on (reroute target
     #: bookkeeping; entries for settled shards go stale harmlessly)
     replica_of: dict = field(default_factory=dict)
+    #: shard -> open trace span id of its in-flight leg
+    leg_spans: dict = field(default_factory=dict)
     #: virtual clock at which the next wave hedge-launches even though
     #: the current wave is still racing (None = no waves deferred)
     hedge_at: Optional[int] = None
@@ -225,6 +236,24 @@ class _ShardsDark(Exception):
 class Service:
     """A concurrent graph-query serving layer over the Ψ machinery."""
 
+    #: legacy int surface over the registry-visible counters — code
+    #: (and tests) keep writing ``service.retries += 1`` while the
+    #: value lives in a :class:`~repro.obs.registry.Counter`
+    shard_cancelled = counter_property("_m_shard_cancelled")
+    routed_queries = counter_property("_m_routed_queries")
+    shards_pruned = counter_property("_m_shards_pruned")
+    waves_skipped = counter_property("_m_waves_skipped")
+    fanout_waste = counter_property("_m_fanout_waste")
+    completed_count = counter_property("_m_completed")
+    retries = counter_property("_m_retries")
+    rerouted = counter_property("_m_rerouted")
+    degraded = counter_property("_m_degraded")
+    replicas_killed = counter_property("_m_replicas_killed")
+    replicas_wedged = counter_property("_m_replicas_wedged")
+    tasks_failed = counter_property("_m_tasks_failed")
+    replicas_retired = counter_property("_m_replicas_retired")
+    faults_noop = counter_property("_m_faults_noop")
+
     def __init__(
         self,
         catalog: Optional[DatasetCatalog | ShardedCatalog] = None,
@@ -244,6 +273,7 @@ class Service:
         max_retries: int = 3,
         degraded_retry_after: int = 4_096,
         faults: Optional[FaultInjector] = None,
+        trace_capacity: int = 512,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -323,28 +353,41 @@ class Service:
         self._staged_races: dict[int, tuple[dict, dict, list]] = {}
         #: ticket.id -> in-flight fan-out merge state
         self._fanout: dict[int, _FanoutState] = {}
+        # ---- observability ----
+        #: the unified metrics registry every serving component
+        #: publishes into; :meth:`stats` is a read of it
+        self.metrics = MetricsRegistry()
+        #: per-ticket trace spans, bounded ring buffer
+        #: (:meth:`trace` / :meth:`export_traces` read it)
+        self.tracer = Tracer(capacity=trace_capacity)
+        #: ticket.id -> open "queue" span id (closed at dispatch)
+        self._queue_spans: dict[int, int] = {}
+        _c = self.metrics.counter
         #: sibling shard races cancelled by a first-true decision
-        self.shard_cancelled = 0
+        self._m_shard_cancelled = _c("service.shard_cancelled")
         #: queries whose fan-out went through the shard router
-        self.routed_queries = 0
+        self._m_routed_queries = _c("service.routed_queries")
         #: shard races never built because a sketch proved them empty
-        self.shards_pruned = 0
+        self._m_shards_pruned = _c("service.shards_pruned")
         #: shard races never built because an earlier wave settled the
         #: decision first (routed decision-only fan-outs)
-        self.waves_skipped = 0
+        self._m_waves_skipped = _c("service.waves_skipped")
         #: virtual steps billed to shard races that contributed nothing
         #: to their merged outcome (fan-outs of >= 2 raced shards only)
-        self.fanout_waste = 0
+        self._m_fanout_waste = _c("service.fanout_waste")
         #: (dataset, global graph id) -> verification steps billed to
         #: that stored graph across every FTV sweep — the per-graph
         #: load attribution the rebalancer migrates on (a size proxy
         #: cannot see that one graph of a balanced shard is hot)
         self.graph_bills: dict[tuple, int] = {}
-        self.completed_count = 0
+        self._m_completed = _c("service.completed")
         # sliding window: stats() reports the most recent completions,
         # so a long-lived service doesn't grow (or re-sort) its whole
         # history per stats call
         self._latencies: deque[int] = deque(maxlen=65_536)
+        #: fixed-bound latency histogram (full snapshot only —
+        #: :meth:`stats` keeps reporting the windowed summary)
+        self._latency_hist = self.metrics.histogram("service.latency_hist")
         # ---- replica health + fault handling ----
         #: bounded retries per ticket before it degrades: a leg lost to
         #: a dead replica (or a failed task) re-admits at most this
@@ -362,15 +405,20 @@ class Service:
         #: pump's completed list so closed loops see them finish)
         self._degraded_now: list[Ticket] = []
         #: chaos-path counters (surfaced in :meth:`stats`)
-        self.retries = 0
-        self.rerouted = 0
-        self.degraded = 0
-        self.replicas_killed = 0
-        self.replicas_wedged = 0
-        self.tasks_failed = 0
-        self.replicas_retired = 0
+        self._m_retries = _c("service.retries")
+        self._m_rerouted = _c("service.rerouted")
+        self._m_degraded = _c("service.degraded")
+        self._m_replicas_killed = _c("service.replicas_killed")
+        self._m_replicas_wedged = _c("service.replicas_wedged")
+        self._m_tasks_failed = _c("service.tasks_failed")
+        self._m_replicas_retired = _c("service.replicas_retired")
         #: injected events that found nothing to act on
-        self.faults_noop = 0
+        self._m_faults_noop = _c("service.faults_noop")
+        self._register_stats_metrics()
+        self.admission.register_metrics(self.metrics)
+        self.dispatcher.register_metrics(self.metrics)
+        if faults is not None:
+            faults.register_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -411,6 +459,14 @@ class Service:
         ticket = self.admission.issue(
             tenant, dataset, query, self.clock, budget_steps
         )
+        self.tracer.start(
+            ticket.id,
+            self.clock,
+            tenant=tenant,
+            dataset=dataset,
+            query=query.name,
+            budget=ticket.budget_steps,
+        )
         variants = options.variants(entry.kind)
         if len(variants) > self.dispatcher.workers:
             ticket.state = TicketState.REJECTED
@@ -420,6 +476,12 @@ class Service:
             )
             ticket.finish_time = ticket.submit_time
             self.admission.rejected += 1
+            self.tracer.finish(
+                ticket.id,
+                self.clock,
+                state="rejected",
+                reason=ticket.reject_reason,
+            )
             return ticket
         context = (
             dataset,
@@ -445,7 +507,11 @@ class Service:
                 matching_ids=cached.matching_ids,
             )
             self.completed_count += 1
-            self._latencies.append(0)
+            self._observe_latency(0)
+            self.tracer.event(ticket.id, "cache_hit", self.clock)
+            self.tracer.finish(
+                ticket.id, self.clock, state="done", cache_hit=True
+            )
             return ticket
         if self.coalesce and key is not None:
             leader = self._inflight_keys.get(key)
@@ -455,6 +521,20 @@ class Service:
                 ticket = self.admission.attach_coalesced(ticket)
                 if ticket.state is not TicketState.REJECTED:
                     self._followers.setdefault(leader, []).append(ticket)
+                    self.tracer.event(
+                        ticket.id,
+                        "coalesce_attach",
+                        self.clock,
+                        leader=leader,
+                    )
+                else:
+                    self.tracer.finish(
+                        ticket.id,
+                        self.clock,
+                        state="rejected",
+                        reason=ticket.reject_reason,
+                        retry_after=ticket.retry_after,
+                    )
                 return ticket
         ticket = self.admission.enqueue(ticket)
         if ticket.state is TicketState.QUEUED:
@@ -466,6 +546,17 @@ class Service:
             )
             if key is not None:
                 self._inflight_keys[key] = ticket.id
+            span = self.tracer.begin(ticket.id, "queue", self.clock)
+            if span is not None:
+                self._queue_spans[ticket.id] = span
+        elif ticket.state is TicketState.REJECTED:
+            self.tracer.finish(
+                ticket.id,
+                self.clock,
+                state="rejected",
+                reason=ticket.reject_reason,
+                retry_after=ticket.retry_after,
+            )
         return ticket
 
     # ------------------------------------------------------------------
@@ -676,6 +767,14 @@ class Service:
             if plan.staged:
                 first = plan.order[:1]
                 waves = [plan.order[1:]]
+            self.tracer.event(
+                ticket.id,
+                "route_plan",
+                self.clock,
+                order=list(plan.order),
+                pruned=list(plan.pruned),
+                staged=plan.staged,
+            )
         else:
             first = involved
         dark = self._dark_shards(
@@ -894,6 +993,17 @@ class Service:
         for shard in sorted(races):
             pool, _ = placements[shard]
             self.dispatcher.admit((tid, shard), races[shard], pool=pool)
+        self.tracer.end(tid, self._queue_spans.pop(tid, None), self.clock)
+        self.tracer.event(
+            tid, "dispatch", self.clock, fanout=len(races), waves=len(waves)
+        )
+        leg_spans = {}
+        for shard in sorted(races):
+            pool, replica = placements[shard]
+            leg_spans[shard] = self.tracer.begin(
+                tid, "leg", self.clock,
+                shard=shard, replica=replica, pool=pool,
+            )
         entry = self._open[tid][1]
         router = getattr(entry, "router", None)
         self._fanout[tid] = _FanoutState(
@@ -905,6 +1015,7 @@ class Service:
                 shard: replica
                 for shard, (_, replica) in placements.items()
             },
+            leg_spans=leg_spans,
             waves=list(waves),
             hedge_at=(
                 self.clock + self.hedge_ticks * self.dispatcher.quantum
@@ -999,7 +1110,9 @@ class Service:
 
         return sorted(self.dispatcher.tokens(), key=rank)
 
-    def _advance_wave(self, tid: int, state: _FanoutState) -> None:
+    def _advance_wave(
+        self, tid: int, state: _FanoutState, hedged: bool = False
+    ) -> None:
         """Build + dispatch the next routed wave of a staged fan-out.
 
         Wave races are built lazily — this is the whole point of the
@@ -1027,6 +1140,12 @@ class Service:
                 f"ticket {tid} had waves in flight; rebalancing is "
                 "only sound at quiesce points"
             )
+        self.tracer.event(
+            tid,
+            "wave_hedge" if hedged else "wave_launch",
+            self.clock,
+            shards=sorted(group),
+        )
         for shard in sorted(group):
             placed = self._place(shard)
             if placed is None:
@@ -1042,6 +1161,10 @@ class Service:
             state.pending.add(shard)
             state.id_maps[shard] = id_map
             state.replica_of[shard] = replica
+            state.leg_spans[shard] = self.tracer.begin(
+                tid, "leg", self.clock,
+                shard=shard, replica=replica, pool=pool,
+            )
         ticket.fanout += len(group)
         state.hedge_at = (
             self.clock + self.hedge_ticks * self.dispatcher.quantum
@@ -1067,12 +1190,25 @@ class Service:
         state = self._fanout[tid]
         state.pending.discard(shard)
         state.outcomes[shard] = outcome
+        self.tracer.end(
+            tid,
+            state.leg_spans.pop(shard, None),
+            self.clock,
+            found=outcome.found,
+            steps=outcome.steps,
+        )
         if options.decision_only and outcome.found:
             if state.pending:
                 for sibling in sorted(state.pending):
                     self.dispatcher.cancel((tid, sibling))
                     state.cancelled.append(sibling)
                     self.shard_cancelled += 1
+                    self.tracer.end(
+                        tid,
+                        state.leg_spans.pop(sibling, None),
+                        self.clock,
+                        cancelled=True,
+                    )
                 state.pending.clear()
             if state.waves:
                 skipped = [s for group in state.waves for s in group]
@@ -1081,6 +1217,9 @@ class Service:
                 self.waves_skipped += len(skipped)
                 ticket = self._open[tid][0]
                 ticket.skipped = len(state.skipped)
+                self.tracer.event(
+                    tid, "waves_skipped", self.clock, shards=skipped
+                )
         if state.pending:
             return None
         if state.waves:
@@ -1088,6 +1227,14 @@ class Service:
             return None
         del self._fanout[tid]
         self._account_waste(state)
+        self.tracer.event(
+            tid,
+            "merge",
+            self.clock,
+            shards=sorted(state.outcomes),
+            cancelled=sorted(state.cancelled),
+            skipped=sorted(state.skipped),
+        )
         return merge_shard_outcomes(state.outcomes, state.id_maps)
 
     def _account_waste(self, state: _FanoutState) -> None:
@@ -1115,6 +1262,8 @@ class Service:
     def install_faults(self, injector: Optional[FaultInjector]) -> None:
         """Arm (or disarm, with None) a fault-injection schedule."""
         self.faults = injector
+        if injector is not None:
+            injector.register_metrics(self.metrics)
 
     def _apply_due_faults(self) -> None:
         """Fire every scheduled fault whose threshold has been crossed."""
@@ -1196,6 +1345,10 @@ class Service:
                 shard in state.pending
                 and state.replica_of.get(shard) == replica
             ):
+                self.tracer.event(
+                    tid, "fault_kill", self.clock,
+                    shard=shard, replica=replica,
+                )
                 self._reroute_leg(tid, shard, lost=True)
 
     def wedge_replica(
@@ -1267,6 +1420,7 @@ class Service:
             return
         tid, s = tokens[0]
         self.tasks_failed += 1
+        self.tracer.event(tid, "fault_task", self.clock, shard=s)
         self._reroute_leg(tid, s, lost=False)
 
     def _reroute_leg(self, tid: int, shard: int, lost: bool) -> None:
@@ -1288,6 +1442,16 @@ class Service:
         self.dispatcher.cancel((tid, shard))
         ticket.retries += 1
         self.retries += 1
+        self.tracer.end(
+            tid,
+            state.leg_spans.pop(shard, None),
+            self.clock,
+            outcome="lost" if lost else "failed",
+        )
+        self.tracer.event(
+            tid, "retry", self.clock,
+            shard=shard, lost=lost, attempt=ticket.retries,
+        )
         if ticket.retries > self.max_retries:
             self._degrade(
                 tid,
@@ -1316,6 +1480,11 @@ class Service:
         self.dispatcher.admit((tid, shard), race, pool=pool)
         state.id_maps[shard] = id_map
         state.replica_of[shard] = replica
+        state.leg_spans[shard] = self.tracer.begin(
+            tid, "leg", self.clock,
+            shard=shard, replica=replica, pool=pool,
+            retry=ticket.retries,
+        )
         if lost or replica != old_replica:
             self.rerouted += 1
 
@@ -1334,6 +1503,12 @@ class Service:
         if state is not None:
             for shard in sorted(state.pending):
                 self.dispatcher.cancel((tid, shard))
+                self.tracer.end(
+                    tid,
+                    state.leg_spans.pop(shard, None),
+                    self.clock,
+                    cancelled=True,
+                )
             state.pending.clear()
             state.waves.clear()
         if tid in self._staged:
@@ -1341,12 +1516,32 @@ class Service:
             self._staged_races.pop(tid, None)
         if key is not None and self._inflight_keys.get(key) == tid:
             del self._inflight_keys[key]
+        self.tracer.end(tid, self._queue_spans.pop(tid, None), self.clock)
         retry_after = self.clock + self.degraded_retry_after
         self._reject_degraded(ticket, reason, retry_after)
+        self.tracer.event(tid, "degraded", self.clock, reason=reason)
+        self.tracer.finish(
+            tid,
+            self.clock,
+            state="rejected",
+            degraded=True,
+            reason=reason,
+            retry_after=retry_after,
+        )
         self.admission.on_complete(ticket)
         for follower in self._followers.pop(tid, []):
             self._reject_degraded(follower, reason, retry_after)
             self.admission.release_coalesced(follower)
+            self.tracer.finish(
+                follower.id,
+                self.clock,
+                state="rejected",
+                degraded=True,
+                coalesced=True,
+                leader=tid,
+                reason=reason,
+                retry_after=retry_after,
+            )
 
     def _reject_degraded(
         self, ticket: Ticket, reason: str, retry_after: int
@@ -1442,7 +1637,7 @@ class Service:
                 and state.hedge_at is not None
                 and self.clock >= state.hedge_at
             ):
-                self._advance_wave(tid, state)
+                self._advance_wave(tid, state, hedged=True)
         self._admit()
         # scheduled faults fire after admission, before the tick: this
         # tick's legs are already placed, so a due kill genuinely hits
@@ -1514,7 +1709,7 @@ class Service:
         ticket.result = result
         self.admission.on_complete(ticket)
         self.completed_count += 1
-        self._latencies.append(ticket.latency or 0)
+        self._observe_latency(ticket.latency or 0)
         if key is not None and self._inflight_keys.get(key) == ticket.id:
             del self._inflight_keys[key]
         if not race.killed:
@@ -1534,6 +1729,16 @@ class Service:
                 self._plan_key(ticket, entry, options, key), race.winner
             )
             self._observe_race(ticket, entry, race)
+            self.tracer.event(ticket.id, "cache_store", self.clock)
+        self.tracer.finish(
+            ticket.id,
+            self.clock,
+            state="done",
+            winner=result.winner_label,
+            found=result.found,
+            killed=result.killed,
+            steps=result.steps,
+        )
 
     def _observe_race(
         self, ticket: Ticket, entry: DatasetEntry, race: RaceOutcome
@@ -1569,7 +1774,17 @@ class Service:
             ticket.result = resolved
             self.admission.release_coalesced(ticket)
             self.completed_count += 1
-            self._latencies.append(ticket.latency or 0)
+            self._observe_latency(ticket.latency or 0)
+            self.tracer.event(
+                ticket.id, "coalesced_result", self.clock, leader=leader_id
+            )
+            self.tracer.finish(
+                ticket.id,
+                self.clock,
+                state="done",
+                coalesced=True,
+                leader=leader_id,
+            )
         return followers
 
     @property
@@ -1593,55 +1808,85 @@ class Service:
         raise RuntimeError("service did not drain within max_ticks")
 
     # ------------------------------------------------------------------
-    # stats
+    # stats (a read of the metrics registry)
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict:
-        """One JSON-ready snapshot of every serving metric."""
-        from ..caching import prepare_cache
-        from ..metrics import summarize_latencies
+    #: the stats() dict, key for key: every entry is the registry
+    #: metric ``service.<key>`` (pinned against the pre-registry dict
+    #: by ``tests/test_obs.py``)
+    _STATS_KEYS = (
+        "clock_steps",
+        "ticks",
+        "work_steps",
+        "completed",
+        "active",
+        "shards",
+        "shard_cancelled",
+        "per_shard_work",
+        "per_pool_work",
+        "replicas",
+        "faults",
+        "fanout_waste",
+        "routing",
+        "latency_steps",
+        "admission",
+        "result_cache",
+        "prepare_cache",
+        "memory",
+    )
 
-        latency = (
-            summarize_latencies(list(self._latencies)).as_dict()
-            if self._latencies
-            else None
+    def _register_stats_metrics(self) -> None:
+        """Wire the composite stats views into the registry.
+
+        Counters register themselves at construction; everything else
+        in :attr:`_STATS_KEYS` is a gauge over state the components
+        already maintain, so ``stats()`` can be a pure registry read
+        without any value ever being computed twice.
+        """
+        g = self.metrics.gauge
+        g("service.clock_steps", lambda: self.clock)
+        self.metrics.register("service.ticks", self.dispatcher._m_ticks)
+        self.metrics.register(
+            "service.work_steps", self.dispatcher._m_work_steps
         )
-        if self.sharded:
-            num_shards = self.catalog.num_shards
-            # per-shard semantics survive replication: a shard's work
-            # is the sum over every pool that ever served it, dead
-            # replicas' history included
-            per_shard = [
-                sum(
-                    self.dispatcher.pool_work[p]
-                    for p in self.catalog.shard_pools(s)
-                    if p < self.dispatcher.pools
-                )
-                for s in range(num_shards)
-            ]
-            replicas = {
-                "counts": [
-                    len(self.catalog.replica_ids(s))
-                    for s in range(num_shards)
-                ],
-                "live": [
-                    len(self.live_replicas(s))
-                    for s in range(num_shards)
-                ],
-                "states": {
-                    f"{s}/{r}": state.value
-                    for (s, r), state in sorted(
-                        self.replica_states.items()
-                    )
-                },
-                "killed": self.replicas_killed,
-                "wedged": self.replicas_wedged,
-                "retired": self.replicas_retired,
-            }
-        else:
-            num_shards = 1
-            per_shard = list(self.dispatcher.pool_work)
-            replicas = {
+        g("service.active", lambda: self.dispatcher.active)
+        g(
+            "service.shards",
+            lambda: self.catalog.num_shards if self.sharded else 1,
+        )
+        g("service.per_shard_work", self._per_shard_work)
+        g("service.per_pool_work", lambda: list(self.dispatcher.pool_work))
+        g("service.replicas", self._replica_report)
+        g("service.faults", self._fault_report)
+        g("service.routing", self._routing_report)
+        g("service.latency_steps", self._latency_report)
+        g("service.admission", lambda: self.admission.stats())
+        g("service.result_cache", lambda: self.cache.as_metrics())
+        g("service.prepare_cache", _prepare_cache_metrics)
+        g("service.memory", lambda: self.catalog.memory_report())
+        # registry-only views (not part of the stats() contract)
+        g("service.graph_bills", lambda: len(self.graph_bills))
+        g("routing.tables", self._routing_tables)
+        g("trace.buffer", self.tracer.as_metrics)
+
+    def _per_shard_work(self) -> list:
+        if not self.sharded:
+            return list(self.dispatcher.pool_work)
+        # per-shard semantics survive replication: a shard's work is
+        # the sum over every pool that ever served it, dead replicas'
+        # history included
+        return [
+            sum(
+                self.dispatcher.pool_work[p]
+                for p in self.catalog.shard_pools(s)
+                if p < self.dispatcher.pools
+            )
+            for s in range(self.catalog.num_shards)
+        ]
+
+    def _replica_report(self) -> dict:
+        if not self.sharded:
+            return {
                 "counts": [1],
                 "live": [1],
                 "states": {},
@@ -1649,40 +1894,89 @@ class Service:
                 "wedged": 0,
                 "retired": 0,
             }
+        num_shards = self.catalog.num_shards
         return {
-            "clock_steps": self.clock,
-            "ticks": self.dispatcher.ticks,
-            "work_steps": self.dispatcher.work_steps,
-            "completed": self.completed_count,
-            "active": self.dispatcher.active,
-            "shards": num_shards,
-            "shard_cancelled": self.shard_cancelled,
-            "per_shard_work": per_shard,
-            "per_pool_work": list(self.dispatcher.pool_work),
-            "replicas": replicas,
-            "faults": {
-                "injected": (
-                    len(self.faults.applied)
-                    if self.faults is not None
-                    else 0
-                ),
-                "retries": self.retries,
-                "rerouted": self.rerouted,
-                "degraded": self.degraded,
-                "tasks_failed": self.tasks_failed,
-                "noop": self.faults_noop,
+            "counts": [
+                len(self.catalog.replica_ids(s))
+                for s in range(num_shards)
+            ],
+            "live": [
+                len(self.live_replicas(s)) for s in range(num_shards)
+            ],
+            "states": {
+                f"{s}/{r}": state.value
+                for (s, r), state in sorted(self.replica_states.items())
             },
-            "fanout_waste": self.fanout_waste,
-            "routing": {
-                "enabled": self.routing,
-                "routed": self.routed_queries,
-                "shards_pruned": self.shards_pruned,
-                "waves_skipped": self.waves_skipped,
-                "shard_cancelled": self.shard_cancelled,
-            },
-            "latency_steps": latency,
-            "admission": self.admission.stats(),
-            "result_cache": self.cache.as_metrics(),
-            "prepare_cache": prepare_cache.stats.as_metrics(),
-            "memory": self.catalog.memory_report(),
+            "killed": self.replicas_killed,
+            "wedged": self.replicas_wedged,
+            "retired": self.replicas_retired,
         }
+
+    def _fault_report(self) -> dict:
+        return {
+            "injected": (
+                len(self.faults.applied) if self.faults is not None else 0
+            ),
+            "retries": self.retries,
+            "rerouted": self.rerouted,
+            "degraded": self.degraded,
+            "tasks_failed": self.tasks_failed,
+            "noop": self.faults_noop,
+        }
+
+    def _routing_report(self) -> dict:
+        return {
+            "enabled": self.routing,
+            "routed": self.routed_queries,
+            "shards_pruned": self.shards_pruned,
+            "waves_skipped": self.waves_skipped,
+            "shard_cancelled": self.shard_cancelled,
+        }
+
+    def _latency_report(self) -> Optional[dict]:
+        from ..metrics import summarize_latencies
+
+        if not self._latencies:
+            return None
+        return summarize_latencies(list(self._latencies)).as_dict()
+
+    def _routing_tables(self) -> dict:
+        """Per-dataset router sketch metrics (sharded + routed only)."""
+        if not self.sharded:
+            return {}
+        out = {}
+        for name in self.catalog.datasets():
+            router = getattr(self.catalog.get(name), "router", None)
+            if router is not None:
+                out[name] = router.as_metrics()
+        return out
+
+    def _observe_latency(self, steps: int) -> None:
+        self._latencies.append(steps)
+        self._latency_hist.observe(steps)
+
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of every serving metric.
+
+        Assembled entirely from the metrics registry — each key is the
+        metric registered as ``service.<key>``; use
+        ``self.metrics.snapshot()`` for the full flat namespace
+        (components, histogram, trace-buffer occupancy) beyond this
+        stable contract.
+        """
+        value = self.metrics.value
+        return {key: value(f"service.{key}") for key in self._STATS_KEYS}
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+
+    def trace(self, ticket_id: int):
+        """The recorded span tree for one ticket (None if never traced
+        or already evicted from the ring buffer)."""
+        return self.tracer.get(ticket_id)
+
+    def export_traces(self, dest) -> int:
+        """Dump every buffered trace as JSONL (path or file object);
+        returns the number of traces written."""
+        return self.tracer.export_jsonl(dest)

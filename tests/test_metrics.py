@@ -11,9 +11,11 @@ from repro.metrics import (
     band_breakdown,
     classify,
     max_min_ratio,
+    percentile,
     qla_ratio,
     speedup_values,
     summarize_distribution,
+    summarize_latencies,
     wla_ratio,
 )
 
@@ -124,3 +126,62 @@ class TestDistributionSummary:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize_distribution([])
+
+
+class TestPercentileEdgeCases:
+    """Pinned nearest-rank semantics at tiny n (the bench-digest and
+    /watch-frame contract — see the :func:`repro.metrics.percentile`
+    docstring)."""
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+        with pytest.raises(ValueError):
+            percentile([1], 100.5)
+
+    def test_single_value_every_q(self):
+        # n == 1: rank is ceil(q/100) == 1 for q > 0, and q == 0 is
+        # special-cased to the minimum — same element either way
+        for q in (0, 1, 50, 95, 99, 100):
+            assert percentile([42], q) == 42
+
+    def test_two_values_split_at_50(self):
+        # n == 2: rank = ceil(q/50); p50 is the LOWER sample
+        assert percentile([10, 20], 0) == 10
+        assert percentile([20, 10], 1) == 10
+        assert percentile([20, 10], 50) == 10
+        assert percentile([10, 20], 50.0001) == 20
+        assert percentile([10, 20], 95) == 20
+        assert percentile([10, 20], 99) == 20
+        assert percentile([10, 20], 100) == 20
+
+    def test_ties_returned_verbatim(self):
+        assert percentile([7, 7, 7], 50) == 7
+        assert percentile([7, 7, 7], 95) == 7
+        # a tie at the rank boundary still yields the tied value
+        assert percentile([1, 5, 5, 9], 50) == 5
+        assert percentile([1, 5, 5, 9], 75) == 5
+
+    def test_unsorted_input(self):
+        values = [30, 10, 50, 20, 40]
+        assert percentile(values, 0) == 10
+        assert percentile(values, 20) == 10
+        assert percentile(values, 50) == 30
+        assert percentile(values, 95) == 50
+        # input list untouched
+        assert values == [30, 10, 50, 20, 40]
+
+    def test_summary_uses_same_definition(self):
+        s = summarize_latencies([10, 20]).as_dict()
+        assert s == {
+            "count": 2,
+            "mean": 15,
+            "p50": 10,
+            "p95": 20,
+            "p99": 20,
+            "max": 20,
+        }

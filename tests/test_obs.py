@@ -1,0 +1,361 @@
+"""Observability layer: registry primitives and the stats identity pin.
+
+The load-bearing test here is :class:`TestStatsIdentity` — it re-states
+the pre-observability ``Service.stats()`` implementation verbatim
+(reading the public attributes directly) and asserts the registry-backed
+snapshot is **key-for-key and value-for-value identical** across
+unsharded, sharded+routed, and chaos workloads.  That identity is what
+keeps every committed BENCH digest byte-stable through this refactor.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import build_ftv_graphs
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_property,
+)
+from repro.service import (
+    AdmissionController,
+    QueryOptions,
+    Rebalancer,
+    Service,
+    TenantPolicy,
+    chaos_plan,
+    run_closed_loop,
+)
+from repro.workload import default_tenant_mixes, generate_tenant_stream
+
+BUDGET = 60_000
+FTV_OPTS = QueryOptions(rewritings=("Orig", "DND"))
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+
+class TestCounter:
+    def test_inc_and_read(self):
+        c = Counter()
+        assert c.read() == 0
+        assert c.inc() == 1
+        assert c.inc(4) == 5
+        assert c.read() == 5
+
+    def test_value_is_settable(self):
+        # the legacy reset idiom: admission.rejected = 0
+        c = Counter(9)
+        c.value = 0
+        assert c.read() == 0
+
+    def test_counter_property_forwards(self):
+        class Holder:
+            hits = counter_property("_m_hits")
+
+            def __init__(self):
+                self._m_hits = Counter()
+
+        h = Holder()
+        h.hits += 3
+        assert h.hits == 3
+        assert h._m_hits.read() == 3
+        h.hits = 0
+        assert h._m_hits.read() == 0
+
+
+class TestGauge:
+    def test_read_through(self):
+        box = {"v": 1}
+        g = Gauge(lambda: box["v"])
+        assert g.read() == 1
+        box["v"] = 7
+        assert g.read() == 7
+
+
+class TestHistogram:
+    def test_default_bounds_are_powers_of_two(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 2 ** 21
+        assert all(
+            b == 1 << k for k, b in enumerate(DEFAULT_LATENCY_BUCKETS)
+        )
+
+    def test_bucketing_at_bounds(self):
+        h = Histogram(bounds=(10, 100))
+        h.observe(0)    # <= 10
+        h.observe(10)   # exactly at a bound lands in that bucket
+        h.observe(11)   # (10, 100]
+        h.observe(100)
+        h.observe(101)  # overflow
+        assert h.read() == {
+            "bounds": [10, 100],
+            "counts": [2, 2, 1],
+            "count": 5,
+            "sum": 222,
+        }
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2, 1))
+
+    def test_deterministic_read(self):
+        a, b = Histogram(), Histogram()
+        for v in (0, 1, 5, 64, 3_000_000):
+            a.observe(v)
+            b.observe(v)
+        assert a.read() == b.read()
+        assert json.dumps(a.read(), sort_keys=True) == json.dumps(
+            b.read(), sort_keys=True
+        )
+
+
+class TestRegistry:
+    def test_snapshot_sorted_and_read_on_demand(self):
+        reg = MetricsRegistry()
+        c = reg.counter("z.last")
+        reg.gauge("a.first", lambda: c.read() * 2)
+        c.inc(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.first", "z.last"]
+        assert snap == {"a.first": 6, "z.last": 3}
+
+    def test_collision_checked(self):
+        reg = MetricsRegistry()
+        reg.counter("dup")
+        with pytest.raises(ValueError):
+            reg.counter("dup")
+        # replace=True is the re-created-component escape hatch
+        reg.counter("dup", value=5, replace=True)
+        assert reg.value("dup") == 5
+
+    def test_rejects_unreadable_metric(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().register("bad", object())
+
+    def test_lookup_surface(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert "x" in reg
+        assert "y" not in reg
+        assert reg.get("x") is c
+        assert reg.get("y") is None
+        assert reg.names() == ["x"]
+
+
+# ----------------------------------------------------------------------
+# the stats identity pin
+# ----------------------------------------------------------------------
+
+def legacy_stats(svc: Service) -> dict:
+    """The pre-observability ``Service.stats()``, restated verbatim.
+
+    Reads only public attributes — no registry — so any drift between
+    the registry snapshot and the components' own bookkeeping fails the
+    identity assertions below.
+    """
+    from repro.caching import prepare_cache
+    from repro.metrics import summarize_latencies
+
+    latency = (
+        summarize_latencies(list(svc._latencies)).as_dict()
+        if svc._latencies
+        else None
+    )
+    if svc.sharded:
+        num_shards = svc.catalog.num_shards
+        per_shard = [
+            sum(
+                svc.dispatcher.pool_work[p]
+                for p in svc.catalog.shard_pools(s)
+                if p < svc.dispatcher.pools
+            )
+            for s in range(num_shards)
+        ]
+        replicas = {
+            "counts": [
+                len(svc.catalog.replica_ids(s))
+                for s in range(num_shards)
+            ],
+            "live": [
+                len(svc.live_replicas(s)) for s in range(num_shards)
+            ],
+            "states": {
+                f"{s}/{r}": state.value
+                for (s, r), state in sorted(svc.replica_states.items())
+            },
+            "killed": svc.replicas_killed,
+            "wedged": svc.replicas_wedged,
+            "retired": svc.replicas_retired,
+        }
+    else:
+        num_shards = 1
+        per_shard = list(svc.dispatcher.pool_work)
+        replicas = {
+            "counts": [1],
+            "live": [1],
+            "states": {},
+            "killed": 0,
+            "wedged": 0,
+            "retired": 0,
+        }
+    return {
+        "clock_steps": svc.clock,
+        "ticks": svc.dispatcher.ticks,
+        "work_steps": svc.dispatcher.work_steps,
+        "completed": svc.completed_count,
+        "active": svc.dispatcher.active,
+        "shards": num_shards,
+        "shard_cancelled": svc.shard_cancelled,
+        "per_shard_work": per_shard,
+        "per_pool_work": list(svc.dispatcher.pool_work),
+        "replicas": replicas,
+        "faults": {
+            "injected": (
+                len(svc.faults.applied) if svc.faults is not None else 0
+            ),
+            "retries": svc.retries,
+            "rerouted": svc.rerouted,
+            "degraded": svc.degraded,
+            "tasks_failed": svc.tasks_failed,
+            "noop": svc.faults_noop,
+        },
+        "fanout_waste": svc.fanout_waste,
+        "routing": {
+            "enabled": svc.routing,
+            "routed": svc.routed_queries,
+            "shards_pruned": svc.shards_pruned,
+            "waves_skipped": svc.waves_skipped,
+            "shard_cancelled": svc.shard_cancelled,
+        },
+        "latency_steps": latency,
+        "admission": svc.admission.stats(),
+        "result_cache": svc.cache.as_metrics(),
+        "prepare_cache": prepare_cache.stats.as_metrics(),
+        "memory": svc.catalog.memory_report(),
+    }
+
+
+@pytest.fixture(scope="module")
+def ppi_graphs():
+    return build_ftv_graphs("ppi", "tiny")
+
+
+def ftv_service(shards=1, replicas=1, routing=False, **kw):
+    svc = Service(
+        workers=4,
+        shards=shards,
+        replicas=replicas,
+        routing=routing,
+        admission=AdmissionController(
+            default_policy=TenantPolicy(step_budget=BUDGET)
+        ),
+        **kw,
+    )
+    svc.load_dataset("ppi", scale="tiny")
+    return svc
+
+
+def ftv_streams(graphs, tenants=2, per_tenant=8, seed=9):
+    mixes = default_tenant_mixes(
+        tenants, per_tenant, sizes=(4, 6), repeat_fraction=0.3
+    )
+    return {
+        m.tenant: generate_tenant_stream(graphs, m, seed=seed)
+        for m in mixes
+    }
+
+
+def assert_stats_identical(svc: Service) -> None:
+    want = legacy_stats(svc)
+    got = svc.stats()
+    assert list(got) == list(want)  # key set AND order
+    assert got == want
+    # and the whole thing still renders to stable JSON
+    assert json.dumps(got, sort_keys=True) == json.dumps(
+        want, sort_keys=True
+    )
+
+
+class TestStatsIdentity:
+    def test_fresh_service(self, ppi_graphs):
+        assert_stats_identical(ftv_service())
+
+    def test_unsharded_run(self, ppi_graphs):
+        svc = ftv_service()
+        run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs), options=FTV_OPTS,
+            concurrency=2,
+        )
+        assert_stats_identical(svc)
+
+    def test_sharded_routed_rebalanced_run(self, ppi_graphs):
+        svc = ftv_service(shards=2, replicas=2, routing=True)
+        run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs), options=FTV_OPTS,
+            concurrency=2, rebalancer=Rebalancer(svc, min_window_steps=64),
+            rebalance_every=4,
+        )
+        assert_stats_identical(svc)
+
+    def test_chaos_run(self, ppi_graphs):
+        svc = ftv_service(shards=2, replicas=2)
+        faults = chaos_plan(1337, num_shards=2, replicas=2, queries=16)
+        run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs), options=FTV_OPTS,
+            concurrency=2, faults=faults,
+        )
+        assert svc.stats()["faults"]["injected"] > 0
+        assert_stats_identical(svc)
+
+    def test_registry_snapshot_superset(self, ppi_graphs):
+        """The registry exposes everything stats() serves, plus the
+        registry-only series (histogram, trace buffer, routing tables)."""
+        svc = ftv_service(shards=2, replicas=2, routing=True)
+        run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs, per_tenant=4),
+            options=FTV_OPTS, concurrency=2,
+        )
+        snap = svc.metrics.snapshot()
+        stats = svc.stats()
+        for key in stats:
+            assert f"service.{key}" in snap
+            assert snap[f"service.{key}"] == stats[key]
+        assert list(snap) == sorted(snap)
+        hist = snap["service.latency_hist"]
+        assert hist["bounds"] == list(DEFAULT_LATENCY_BUCKETS)
+        assert hist["count"] == stats["latency_steps"]["count"]
+        assert snap["trace.buffer"]["capacity"] == 512
+        assert "routing.tables" in snap
+        assert "admission.admitted" in snap
+        assert "dispatcher.ticks" in snap
+
+
+class TestLoadReportSnapshot:
+    def test_latency_section_comes_from_snapshot(self, ppi_graphs):
+        """Satellite: as_json() no longer re-derives latencies by hand —
+        but the snapshot value equals the hand derivation exactly."""
+        from repro.metrics import summarize_latencies
+
+        svc = ftv_service(shards=2, replicas=2)
+        report = run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs), options=FTV_OPTS,
+            concurrency=2,
+        )
+        payload = report.as_json()
+        assert payload["latency_steps"] == report.service_stats[
+            "latency_steps"
+        ]
+        by_hand = summarize_latencies(
+            [t.latency or 0 for t in report.completed]
+        ).as_dict()
+        assert payload["latency_steps"] == by_hand

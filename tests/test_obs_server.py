@@ -1,0 +1,245 @@
+"""Front-door tests: socket-served runs equal in-process runs.
+
+A :class:`~repro.obs.server.BackgroundFrontDoor` serves a real TCP
+socket on a daemon thread; an :class:`~repro.obs.client.ObsClient`
+drives it query-by-query.  The load-bearing assertion is equivalence:
+a workload submitted over the socket produces byte-for-byte the same
+answers, step bills, and deterministic stats as the same workload run
+in-process — the wall-clock front door adds zero perturbation to the
+virtual-clock core.
+"""
+
+import pytest
+
+from repro.harness import build_ftv_graphs
+from repro.obs.client import ObsClient, query_payload
+from repro.obs.server import BackgroundFrontDoor
+from repro.service import (
+    AdmissionController,
+    QueryOptions,
+    Service,
+    TenantPolicy,
+)
+from repro.workload import default_tenant_mixes, generate_tenant_stream
+
+BUDGET = 60_000
+FTV_OPTS = {"rewritings": ["Orig", "DND"]}
+
+#: stats keys that are pure functions of the submission history (the
+#: socket run and the in-process run must agree on every one)
+DETERMINISTIC_KEYS = (
+    "clock_steps", "ticks", "work_steps", "completed", "active",
+    "shards", "shard_cancelled", "per_shard_work", "per_pool_work",
+    "replicas", "faults", "fanout_waste", "routing", "latency_steps",
+    "admission",
+)
+
+
+@pytest.fixture(scope="module")
+def ppi_graphs():
+    return build_ftv_graphs("ppi", "tiny")
+
+
+def ftv_service(shards=2, replicas=2, **kw):
+    svc = Service(
+        workers=4,
+        shards=shards,
+        replicas=replicas,
+        admission=AdmissionController(
+            default_policy=TenantPolicy(step_budget=BUDGET)
+        ),
+        **kw,
+    )
+    svc.load_dataset("ppi", scale="tiny")
+    return svc
+
+
+def workload(graphs, per_tenant=6, seed=9):
+    mixes = default_tenant_mixes(
+        2, per_tenant, sizes=(4, 6), repeat_fraction=0.3
+    )
+    out = []
+    for mix in mixes:
+        for mq in generate_tenant_stream(graphs, mix, seed=seed):
+            out.append((mix.tenant, mq.query.graph))
+    return out
+
+
+@pytest.fixture(scope="module")
+def door(ppi_graphs):
+    with BackgroundFrontDoor(ftv_service()) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(door):
+    host, port = door.address
+    return ObsClient(host, port)
+
+
+class TestEndpoints:
+    def test_healthz_and_unknown_route(self, client):
+        status, payload, _ = client.request("GET", "/healthz")
+        assert (status, payload) == (200, {"ok": True})
+        status, payload, _ = client.request("GET", "/nope")
+        assert status == 404
+
+    def test_stats_schema(self, client):
+        payload = client.stats()
+        assert set(payload) == {"clock", "stats", "registry"}
+        stats = payload["stats"]
+        assert list(stats)[:4] == [
+            "clock_steps", "ticks", "work_steps", "completed",
+        ]
+        registry = payload["registry"]
+        assert list(registry) == sorted(registry)
+        assert registry["service.completed"] == stats["completed"]
+        assert "service.latency_hist" in registry
+        assert "trace.buffer" in registry
+
+    def test_trace_endpoint(self, client, ppi_graphs):
+        tenant, graph = workload(ppi_graphs)[0]
+        status, payload, _ = client.submit(
+            "ppi", graph, tenant=tenant, options=FTV_OPTS
+        )
+        assert status == 200
+        ticket_id = payload["ticket_id"]
+        status, trace = client.trace(ticket_id)
+        assert status == 200
+        assert trace["ticket_id"] == ticket_id
+        assert trace["done"] is True
+        names = [s["name"] for s in trace["spans"]]
+        assert names[0] == "ticket"
+        assert "leg" in names
+        assert all(s["end"] is not None for s in trace["spans"])
+        assert trace["tree"]["name"] == "ticket"
+        assert trace["tree"]["children"]
+
+    def test_trace_errors(self, client):
+        assert client.trace(999_999)[0] == 404
+        status, _, _ = client.request("GET", "/trace/xyz")
+        assert status == 400
+
+    def test_bad_query_payload(self, client):
+        status, _, _ = client.request(
+            "POST", "/query", body={"tenant": "t0"}
+        )
+        assert status == 400
+
+    def test_unknown_dataset_404(self, client, ppi_graphs):
+        _, graph = workload(ppi_graphs)[0]
+        status, payload, _ = client.submit("nope", graph)
+        assert status == 404
+        assert "unknown dataset" in payload["error"]
+
+    def test_watch_frames(self, client):
+        frames = list(client.watch(frames=2, interval=0.05))
+        assert len(frames) == 2
+        assert [f["seq"] for f in frames] == [0, 1]
+        for frame in frames:
+            assert {
+                "clock", "completed", "delta_completed",
+                "latency_steps", "per_shard_work", "fanout_waste",
+                "cache_hit_rate", "replicas_live", "queued", "active",
+                "degraded", "retries", "throughput_qps",
+            } <= set(frame)
+
+
+class TestSocketEqualsInProcess:
+    def test_workload_equivalence(self, ppi_graphs):
+        """The same workload, once over the socket and once in-process:
+        identical answers, bills, latencies, and deterministic stats."""
+        queries = workload(ppi_graphs)
+        local = ftv_service()
+        options = QueryOptions(rewritings=("Orig", "DND"))
+        local_results = []
+        for tenant, graph in queries:
+            ticket = local.submit("ppi", graph, tenant, options)
+            local.run_until_idle()
+            r = ticket.result
+            local_results.append((
+                r.found, r.steps, r.winner_label, ticket.latency,
+                sorted(r.matching_ids),
+            ))
+
+        with BackgroundFrontDoor(ftv_service()) as door:
+            client = ObsClient(*door.address)
+            remote_results = []
+            for tenant, graph in queries:
+                status, payload, _ = client.submit(
+                    "ppi", graph, tenant=tenant, options=FTV_OPTS
+                )
+                assert status == 200
+                r = payload["result"]
+                remote_results.append((
+                    r["found"], r["steps"], r["winner"],
+                    payload["latency_steps"],
+                    sorted(r["matching_ids"]),
+                ))
+            remote_stats = client.stats()["stats"]
+
+        assert remote_results == local_results
+        local_stats = local.stats()
+        for key in DETERMINISTIC_KEYS:
+            assert remote_stats[key] == local_stats[key], key
+
+    def test_coalescing_is_off_path_serially(self, ppi_graphs):
+        """Serial socket submits never coalesce (each completes before
+        the next arrives) — they hit the result cache instead."""
+        _, graph = workload(ppi_graphs)[0]
+        with BackgroundFrontDoor(ftv_service()) as door:
+            client = ObsClient(*door.address)
+            first = client.submit("ppi", graph, options=FTV_OPTS)
+            second = client.submit("ppi", graph, options=FTV_OPTS)
+        assert first[1]["result"]["from_cache"] is False
+        assert second[1]["result"]["from_cache"] is True
+
+
+class TestRejectionMapping:
+    def test_degraded_maps_to_429_with_retry_after(self, ppi_graphs):
+        svc = ftv_service()
+        svc.kill_replica(0, 0)
+        svc.kill_replica(0, 1)  # shard 0 blackout
+        _, graph = workload(ppi_graphs)[0]
+        with BackgroundFrontDoor(svc) as door:
+            client = ObsClient(*door.address)
+            status, payload, headers = client.submit(
+                "ppi", graph, options=FTV_OPTS
+            )
+        assert status == 429
+        assert payload["state"] == "rejected"
+        assert payload["degraded"] is True
+        assert payload["retry_after_steps"] is not None
+        assert int(headers["retry-after"]) >= 1
+
+    def test_plain_rejection_maps_to_400(self, ppi_graphs):
+        svc = Service(
+            workers=1,
+            admission=AdmissionController(
+                default_policy=TenantPolicy(step_budget=BUDGET)
+            ),
+        )
+        svc.load_dataset("ppi", scale="tiny")
+        _, graph = workload(ppi_graphs)[0]
+        with BackgroundFrontDoor(svc) as door:
+            client = ObsClient(*door.address)
+            # 2-wide race on a 1-worker pool: admission refuses outright
+            status, payload, headers = client.submit(
+                "ppi", graph, options=FTV_OPTS
+            )
+        assert status == 400
+        assert payload["state"] == "rejected"
+        assert payload["retry_after_steps"] is None
+        assert "retry-after" not in headers
+
+
+def test_query_payload_round_trip(ppi_graphs):
+    import json
+
+    from repro.graphs.io import graph_from_json
+
+    _, graph = workload(ppi_graphs)[0]
+    rebuilt = graph_from_json(json.dumps(query_payload(graph)))
+    assert rebuilt.name == graph.name
+    assert list(rebuilt.labels) == list(graph.labels)
+    assert sorted(rebuilt.edges()) == sorted(graph.edges())
