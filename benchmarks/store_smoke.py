@@ -1,0 +1,279 @@
+#!/usr/bin/env python
+"""CI store-smoke: the artifact store end to end, corruption included.
+
+What it proves, in order:
+
+1. **Corruption matrix** — a warmed store is copied once per
+   corruption class (``StoreFaultInjector.CORRUPTIONS``: torn write,
+   truncate, bit flip, deleted blob, version skew, stale manifest,
+   duplicate manifest), the fault is injected, and a service booted
+   from the damaged store must (a) detect the defect exactly as the
+   recovery matrix in ``docs/STORE.md`` says, (b) quarantine what can
+   be quarantined, and (c) serve the seeded workload with an
+   ``answers_digest`` equal to a fresh never-persisted run — zero
+   silently-served corrupt artifacts.
+2. **Warm → kill → cold boot** — ``repro warm --store`` runs as a
+   subprocess and exits (the warming process is gone for good); a
+   service cold-booted from nothing but the store's bytes answers the
+   workload digest-identically to a fresh warm, with every artifact
+   restored rather than rebuilt.
+3. **CLI drill** — ``repro serve --store --chaos --regrow`` as a
+   subprocess: replicas killed by the fault plan are regrown from the
+   store mid-drill, zero tickets lost, and the printed results digest
+   equals the same CLI invocation serving without a store.
+
+Run:  PYTHONPATH=src python benchmarks/store_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.service import (  # noqa: E402
+    AdmissionController,
+    QueryOptions,
+    Service,
+    TenantPolicy,
+    run_closed_loop,
+)
+from repro.service.faults import StoreFaultInjector  # noqa: E402
+from repro.service.sharding import ShardedCatalog  # noqa: E402
+from repro.store import StoreWriter  # noqa: E402
+from repro.workload import (  # noqa: E402
+    default_tenant_mixes,
+    generate_tenant_stream,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(HERE, os.pardir, "src")
+
+BUDGET = 60_000
+FTV_OPTS = QueryOptions(rewritings=("Orig", "DND"))
+SHARDS = 2
+
+#: expected detection/recovery per corruption class (the docs/STORE.md
+#: matrix, in executable form).  ``served`` is whether any artifact is
+#: still restored from disk after the fault.
+MATRIX = {
+    "torn_write": {"detected": True, "quarantined": True, "served": True},
+    "truncate": {"detected": True, "quarantined": True, "served": True},
+    "bit_flip": {"detected": True, "quarantined": True, "served": True},
+    "delete_blob": {"detected": True, "quarantined": False, "served": True},
+    "version_skew": {"detected": True, "quarantined": True, "served": False},
+    "stale_manifest": {"detected": True, "quarantined": True, "served": False},
+    "duplicate_manifest": {
+        "detected": False, "quarantined": False, "served": True,
+    },
+}
+
+
+def check(cond: bool, message: str) -> None:
+    if not cond:
+        raise SystemExit(f"store-smoke FAILED: {message}")
+
+
+def build_service(store=None) -> Service:
+    svc = Service(
+        workers=4,
+        shards=SHARDS,
+        replicas=1,
+        admission=AdmissionController(
+            default_policy=TenantPolicy(step_budget=BUDGET)
+        ),
+        store=store,
+    )
+    svc.load_dataset("ppi", scale="tiny")
+    return svc
+
+
+def streams(svc):
+    graphs = svc.catalog.get("ppi").graphs
+    mixes = default_tenant_mixes(
+        2, 8, sizes=(4, 6), repeat_fraction=0.3
+    )
+    return {
+        m.tenant: generate_tenant_stream(graphs, m, seed=9)
+        for m in mixes
+    }
+
+
+def run(svc):
+    return run_closed_loop(
+        svc, "ppi", streams(svc), options=FTV_OPTS, concurrency=2
+    ).as_json()
+
+
+def warm_pristine(root: str) -> None:
+    catalog = ShardedCatalog(num_shards=SHARDS)
+    catalog.load("ppi", scale="tiny")
+    StoreWriter(root).write_catalog(catalog)
+
+
+def corruption_matrix(workdir: str, baseline: dict) -> None:
+    pristine = os.path.join(workdir, "pristine")
+    warm_pristine(pristine)
+    check(
+        set(MATRIX) == set(StoreFaultInjector.CORRUPTIONS),
+        "matrix rows out of sync with StoreFaultInjector.CORRUPTIONS",
+    )
+    for kind in StoreFaultInjector.CORRUPTIONS:
+        root = os.path.join(workdir, kind)
+        shutil.copytree(pristine, root)
+        StoreFaultInjector(root, seed=7).inject(kind)
+        svc = build_service(store=root)
+        reader = svc.catalog.store
+        payload = run(svc)
+        want = MATRIX[kind]
+        check(
+            (reader.corrupt_detected > 0) == want["detected"],
+            f"{kind}: corrupt_detected={reader.corrupt_detected}, "
+            f"expected detected={want['detected']}",
+        )
+        check(
+            (reader.quarantined > 0) == want["quarantined"],
+            f"{kind}: quarantined={reader.quarantined}, "
+            f"expected quarantined={want['quarantined']}",
+        )
+        check(
+            (reader.restores > 0) == want["served"],
+            f"{kind}: restores={reader.restores}, "
+            f"expected served={want['served']}",
+        )
+        check(
+            payload["answers_digest"] == baseline["answers_digest"],
+            f"{kind}: answers diverged after recovery "
+            f"({payload['answers_digest']} != "
+            f"{baseline['answers_digest']})",
+        )
+    print(
+        f"[1/3] corruption matrix: {len(MATRIX)} classes detected and "
+        f"recovered, answers digest {baseline['answers_digest']}"
+    )
+
+
+def cli(args: list[str]) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.setdefault("PYTHONHASHSEED", "0")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    check(
+        proc.returncode == 0,
+        f"repro {' '.join(args)} exited {proc.returncode}:\n"
+        f"{proc.stdout}\n{proc.stderr}",
+    )
+    return proc.stdout
+
+
+def cold_boot(workdir: str, baseline: dict) -> None:
+    root = os.path.join(workdir, "cold")
+    out = cli([
+        "warm", "--store", root, "--dataset", "ppi",
+        "--scale", "tiny", "--shards", str(SHARDS), "--verify",
+    ])
+    check("0 bad" in out, f"warm --verify reported bad blobs:\n{out}")
+    # the warming process is dead; only its bytes remain
+    svc = build_service(store=root)
+    reader = svc.catalog.store
+    check(
+        reader.restores > 0 and reader.rebuilds == 0,
+        f"cold boot should restore everything, got "
+        f"restores={reader.restores} rebuilds={reader.rebuilds}",
+    )
+    payload = run(svc)
+    for key in ("answers_digest", "digest"):
+        check(
+            payload[key] == baseline[key],
+            f"cold boot {key} diverged: "
+            f"{payload[key]} != {baseline[key]}",
+        )
+    check(
+        sorted(svc.stats()) == sorted(baseline["stats_keys"]),
+        "cold-boot stats key set diverged from fresh warm",
+    )
+    print(
+        f"[2/3] warm(subprocess) -> cold boot: "
+        f"{reader.restores} restores, 0 rebuilds, digest "
+        f"{payload['digest']}"
+    )
+
+
+def cli_drill(workdir: str) -> None:
+    root = os.path.join(workdir, "drill")
+    cli([
+        "warm", "--store", root, "--dataset", "ppi",
+        "--scale", "tiny", "--shards", "2", "--replicas", "2",
+    ])
+    serve = [
+        "serve", "--dataset", "ppi", "--scale", "tiny",
+        "--shards", "2", "--replicas", "2",
+        "--chaos", "--chaos-seed", "1337", "--regrow",
+    ]
+    stored = cli([*serve, "--store", root])
+    fresh = cli(serve)
+
+    def digest(out: str) -> str:
+        match = re.search(r"results digest (\w+)", out)
+        check(match is not None, f"no results digest line in:\n{out}")
+        return match.group(1)
+
+    check(
+        digest(stored) == digest(fresh),
+        f"serve --store digest {digest(stored)} != "
+        f"fresh serve digest {digest(fresh)}",
+    )
+    check(
+        re.search(r"chaos: .* 0 lost", stored) is not None,
+        f"store-backed chaos run lost tickets:\n{stored}",
+    )
+    store_line = re.search(
+        r"store: (\d+) restores, .*regrew (\d+) replica\(s\), "
+        r"(\d+) from store",
+        stored,
+    )
+    check(store_line is not None, f"no store summary line in:\n{stored}")
+    restores, regrew, from_store = map(int, store_line.groups())
+    check(restores > 0, "CLI drill restored nothing from the store")
+    check(
+        regrew > 0 and regrew == from_store,
+        f"regrew {regrew} replica(s) but only {from_store} from store",
+    )
+    print(
+        f"[3/3] serve --store --chaos --regrow: digest "
+        f"{digest(stored)} == fresh, {restores} restores, "
+        f"{regrew}/{regrew} replicas regrown from store, 0 lost"
+    )
+
+
+def main() -> int:
+    fresh = build_service()
+    baseline_payload = run(fresh)
+    baseline = {
+        "answers_digest": baseline_payload["answers_digest"],
+        "digest": baseline_payload["digest"],
+        "stats_keys": sorted(fresh.stats()),
+    }
+    with tempfile.TemporaryDirectory(prefix="store-smoke-") as workdir:
+        corruption_matrix(workdir, baseline)
+        cold_boot(workdir, baseline)
+        cli_drill(workdir)
+    print("store-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

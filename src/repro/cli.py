@@ -393,6 +393,7 @@ def _build_service(args: argparse.Namespace, with_streams: bool = True):
         replicas=args.replicas,
         routing=args.routing,
         assignment=args.assignment,
+        store=getattr(args, "store", None),
     )
     service.load_dataset(
         args.dataset,
@@ -495,6 +496,67 @@ def _build_faults(args: argparse.Namespace):
     )
 
 
+def cmd_warm(args: argparse.Namespace) -> int:
+    """Warm a catalog and persist its artifacts to a store directory.
+
+    The write is crash-safe (blobs then manifest, each via temp file +
+    fsync + atomic rename), so a later ``serve --store DIR`` either
+    sees the complete epoch or no store at all.
+    """
+    from .store import StoreReader, StoreWriter
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
+    if args.shards > 1 or args.replicas > 1:
+        from .service.sharding import ShardedCatalog
+
+        catalog = ShardedCatalog(
+            num_shards=args.shards,
+            assignment=args.assignment,
+            replicas=args.replicas,
+        )
+    else:
+        from .service.catalog import DatasetCatalog
+
+        catalog = DatasetCatalog()
+    catalog.load(
+        args.dataset,
+        scale=args.scale,
+        **(
+            {"algorithms": tuple(args.algorithms.split(","))}
+            if args.dataset in NFV_DATASETS
+            else {}
+        ),
+    )
+    summary = StoreWriter(args.store).write_catalog(catalog)
+    layout = (
+        f"{args.shards} shard(s) x {args.replicas} replica(s)"
+        if args.shards > 1 or args.replicas > 1
+        else "unsharded"
+    )
+    _print(
+        f"warmed {args.dataset} ({args.scale}, {layout}); wrote epoch "
+        f"{summary['epoch']}: {summary['blobs']} blob(s), "
+        f"{summary['bytes']} bytes under {summary['path']}"
+    )
+    if summary["skipped_registered"]:
+        _print(
+            "skipped (registered, not rebuildable from a recipe): "
+            + ", ".join(summary["skipped_registered"])
+        )
+    if args.verify:
+        report = StoreReader(args.store).verify_all()
+        _print(
+            f"verify: {report['blobs_ok']} blob(s) ok, "
+            f"{report['blobs_bad']} bad"
+        )
+        if report["blobs_bad"]:
+            return 1
+    return 0
+
+
 def _parse_listen(spec: str) -> tuple[str, int]:
     host, sep, port = spec.rpartition(":")
     if not sep:
@@ -551,6 +613,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rebalancer=rebalancer,
         rebalance_every=every,
         faults=faults,
+        regrow=args.regrow,
     )
     payload = report.as_json()
     shard_note = (
@@ -609,6 +672,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{ch['rerouted']} legs rerouted, "
             f"{ch['degraded']} degraded, {ch['lost']} lost"
         )
+    if payload["store"]:
+        st = payload["store"]
+        m = st["metrics"]
+        regrew = st["regrown"]
+        from_store = sum(1 for r in regrew if r["from_store"])
+        _print(
+            f"store: {m.get('restores', 0)} restores, "
+            f"{m.get('rebuilds', 0)} rebuilds, "
+            f"{m.get('corrupt_detected', 0)} corrupt "
+            f"({m.get('quarantined', 0)} quarantined); regrew "
+            f"{len(regrew)} replica(s), {from_store} from store"
+        )
     _print(f"results digest {payload['digest']}")
     if args.verbose:
         for t in report.completed:
@@ -622,35 +697,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_tail(args: argparse.Namespace) -> int:
-    """Follow a front door's ``/watch`` stream, one line per frame."""
-    from .obs.client import ObsClient
+    """Follow a front door's ``/watch`` stream, one line per frame.
+
+    Disconnects (dead socket, timed-out read, error status) reconnect
+    with bounded exponential backoff + jitter, up to
+    ``--max-reconnects`` consecutive failures; a ``Retry-After``
+    header from the server overrides the computed delay.  A healthy
+    frame resets the backoff.
+    """
+    import time
+
+    from .obs.client import ObsClient, WatchDisconnected, reconnect_delays
 
     host, port = _parse_listen(args.endpoint)
     client = ObsClient(host, port)
-    try:
-        for frame in client.watch(
-            frames=args.frames, interval=args.interval
-        ):
-            lat = frame.get("latency_steps") or {}
+    seen = 0
+    failures = 0
+    delays = reconnect_delays(
+        base=args.backoff_base, cap=args.backoff_cap
+    )
+    while True:
+        remaining = args.frames - seen if args.frames else 0
+        try:
+            for frame in client.watch(
+                frames=remaining,
+                interval=args.interval,
+                read_timeout=args.read_timeout,
+            ):
+                if failures:
+                    failures = 0
+                    delays = reconnect_delays(
+                        base=args.backoff_base, cap=args.backoff_cap
+                    )
+                seen += 1
+                lat = frame.get("latency_steps") or {}
+                _print(
+                    f"[{frame['seq']:>4}] clock={frame['clock']} "
+                    f"done={frame['completed']} "
+                    f"(+{frame['delta_completed']}, "
+                    f"{frame['throughput_qps']:.1f} q/s) "
+                    f"p50={lat.get('p50', '-')} p95={lat.get('p95', '-')} "
+                    f"waste={frame['fanout_waste']} "
+                    f"cache={100 * frame['cache_hit_rate']:.0f}% "
+                    f"replicas={frame['replicas_live']} "
+                    f"queued={frame['queued']} active={frame['active']} "
+                    f"degraded={frame['degraded']}"
+                )
+                sys.stdout.flush()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+        except WatchDisconnected as exc:
+            failures += 1
+            if failures > args.max_reconnects:
+                _print(
+                    f"tail: giving up on {host}:{port} after "
+                    f"{args.max_reconnects} reconnect(s) ({exc.reason})"
+                )
+                return 1
+            delay = (
+                exc.retry_after
+                if exc.retry_after is not None
+                else next(delays)
+            )
             _print(
-                f"[{frame['seq']:>4}] clock={frame['clock']} "
-                f"done={frame['completed']} "
-                f"(+{frame['delta_completed']}, "
-                f"{frame['throughput_qps']:.1f} q/s) "
-                f"p50={lat.get('p50', '-')} p95={lat.get('p95', '-')} "
-                f"waste={frame['fanout_waste']} "
-                f"cache={100 * frame['cache_hit_rate']:.0f}% "
-                f"replicas={frame['replicas_live']} "
-                f"queued={frame['queued']} active={frame['active']} "
-                f"degraded={frame['degraded']}"
+                f"tail: disconnected ({exc.reason}); reconnect "
+                f"{failures}/{args.max_reconnects} in {delay:.1f}s"
             )
             sys.stdout.flush()
-    except KeyboardInterrupt:  # pragma: no cover - interactive
-        pass
-    except (ConnectionError, OSError) as exc:
-        _print(f"tail: cannot reach {host}:{port} ({exc})")
-        return 1
-    return 0
+            time.sleep(delay)
+            continue
+        # clean end of stream (server drained, or --frames satisfied)
+        return 0
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -671,6 +788,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         rebalancer=rebalancer,
         rebalance_every=every,
         faults=faults,
+        regrow=args.regrow,
         config={
             "dataset": args.dataset,
             "scale": args.scale,
@@ -690,6 +808,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "plan_seeding": args.plan_seeding,
             "coalesce": not args.no_coalesce,
+            "store": args.store,
+            "regrow": args.regrow,
         },
     )
     payload = report.as_json()
@@ -877,6 +997,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "(cached winner + one challenger)")
         p.add_argument("--no-coalesce", action="store_true",
                        help="disable in-flight request coalescing")
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="boot warm state from a persisted artifact "
+                            "store (written by `repro warm --store`); "
+                            "corrupt or absent artifacts fall back to "
+                            "an in-process rebuild")
+        p.add_argument("--regrow", action="store_true",
+                       help="heal permanent replica losses mid-load: "
+                            "each killed replica is replaced via "
+                            "Service.add_replica (booting from --store "
+                            "when one is attached)")
+
+    p = sub.add_parser(
+        "warm",
+        help="warm a catalog and persist it to an artifact store",
+    )
+    p.add_argument("--store", metavar="DIR", required=True,
+                   help="store directory (created if absent); the "
+                        "manifest lands last via an atomic rename")
+    p.add_argument("--dataset", default="yeast",
+                   choices=NFV_DATASETS + FTV_DATASETS)
+    p.add_argument("--scale", choices=("default", "tiny"),
+                   default="default")
+    p.add_argument("--shards", type=int, default=1,
+                   help="persist the sharded layout (per-shard index "
+                        "blobs) instead of the unsharded one")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replica layout recorded in the manifest")
+    p.add_argument("--assignment", default="size_balanced",
+                   choices=("size_balanced", "hash"))
+    p.add_argument("--algorithms", default="GQL,SPA")
+    p.add_argument("--verify", action="store_true",
+                   help="re-checksum every written blob before exiting")
+    p.set_defaults(fn=cmd_warm)
 
     p = sub.add_parser(
         "serve",
@@ -906,6 +1059,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop after this many frames (0 = forever)")
     p.add_argument("--interval", type=float, default=1.0,
                    help="seconds between frames")
+    p.add_argument("--max-reconnects", type=int, default=5,
+                   help="consecutive reconnect attempts before giving "
+                        "up (a healthy frame resets the count)")
+    p.add_argument("--backoff-base", type=float, default=0.5,
+                   help="first reconnect delay bound (seconds); "
+                        "doubles per consecutive failure, with jitter")
+    p.add_argument("--backoff-cap", type=float, default=30.0,
+                   help="reconnect delay ceiling (seconds)")
+    p.add_argument("--read-timeout", type=float, default=None,
+                   help="per-frame read timeout in seconds (default: "
+                        "10x --interval)")
     p.set_defaults(fn=cmd_tail)
 
     p = sub.add_parser(

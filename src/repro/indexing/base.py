@@ -34,6 +34,7 @@ from .features import (
     coded_path_census,
     label_path_census,
 )
+from .trie import PathTrie
 
 __all__ = ["FTVIndex", "VerificationReport", "FTVQueryResult"]
 
@@ -95,14 +96,24 @@ class FTVIndex(ABC):
     max_path_length:
         Maximum feature path length in edges (the paper indexes paths up
         to length 4; the scaled default here is 3 — see DESIGN.md §2).
+    restore:
+        Dumped trie postings (``repro.store`` boot path).  When given,
+        the trie is reconstructed by raw re-insertion of the dump
+        instead of running the path-census ``_build`` — O(read)
+        instead of O(DFS), and bit-identical because label codes are a
+        pure function of the graphs' sorted label set.
     """
 
     method_name: str = "FTV"
+
+    #: trie type :meth:`_restore` instantiates (subclasses override)
+    trie_class: type = PathTrie
 
     def __init__(
         self,
         graphs: list[LabeledGraph],
         max_path_length: int = 3,
+        restore: Optional[list] = None,
     ) -> None:
         if not graphs:
             raise ValueError("empty dataset")
@@ -127,7 +138,10 @@ class FTVIndex(ABC):
         from ..caching import CacheStats
 
         self.census_stats = CacheStats()
-        self._build()
+        if restore is None:
+            self._build()
+        else:
+            self._restore(restore)
 
     # ------------------------------------------------------------------
     # offline stage
@@ -136,6 +150,23 @@ class FTVIndex(ABC):
     @abstractmethod
     def _build(self) -> None:
         """Construct the feature index (un-budgeted, per the paper)."""
+
+    def _restore(self, postings: list) -> None:
+        """Rebuild the trie from dumped postings (store boot path).
+
+        Each row is ``(coded path, [(graph_id, count, locations)])``
+        exactly as :func:`repro.store.codec.dump_postings` emitted it.
+        Re-insertion is pinned to the **raw** :meth:`PathTrie.insert`
+        (bound explicitly): a :class:`~repro.indexing.trie.SuffixTrie`'s
+        own ``insert`` expands suffixes, and the dump already contains
+        every expansion — routing rows through it would double count.
+        """
+        self.trie = self.trie_class()
+        insert = PathTrie.insert.__get__(self.trie, type(self.trie))
+        for seq, rows in postings:
+            key = tuple(seq)
+            for gid, count, locations in rows:
+                insert(key, gid, count, frozenset(locations))
 
     # ------------------------------------------------------------------
     # online stage

@@ -36,6 +36,11 @@ class GGSXIndex(FTVIndex):
 
     method_name = "GGSX"
 
+    #: store-restore instantiates this, but re-inserts dumped postings
+    #: through the raw ``PathTrie.insert`` — the dump already holds
+    #: every expanded suffix (see :meth:`FTVIndex._restore`)
+    trie_class = SuffixTrie
+
     def _build(self) -> None:
         self.trie = SuffixTrie()
         for gid, graph in enumerate(self.graphs):

@@ -60,16 +60,19 @@ class GrapesIndex(FTVIndex):
         Simulated verification threads (paper: Grapes/1 and Grapes/4).
     """
 
+    trie_class = PathTrie
+
     def __init__(
         self,
         graphs: list[LabeledGraph],
         max_path_length: int = 3,
         threads: int = 1,
+        restore: Optional[list] = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be >= 1")
         self.threads = threads
-        super().__init__(graphs, max_path_length)
+        super().__init__(graphs, max_path_length, restore=restore)
         self.method_name = f"Grapes/{threads}"
 
     def with_threads(self, threads: int) -> "GrapesIndex":

@@ -27,6 +27,8 @@ Endpoints
     Streaming ``application/x-ndjson``: one delta frame per interval
     (throughput, interval p50/p95, per-shard bills, fanout waste,
     cache hit rate, live replicas).  ``frames=0`` streams forever.
+    On graceful shutdown the stream emits one last frame marked
+    ``"final": true`` before ending.
 ``GET /healthz``
     Liveness probe.
 
@@ -62,6 +64,7 @@ class FrontDoor:
         host: str = "127.0.0.1",
         port: int = 0,
         steps_per_second: int = DEFAULT_STEPS_PER_SECOND,
+        drain_timeout: float = 5.0,
     ) -> None:
         if steps_per_second < 1:
             raise ValueError("steps_per_second must be >= 1")
@@ -69,11 +72,20 @@ class FrontDoor:
         self.host = host
         self.port = port
         self.steps_per_second = steps_per_second
+        #: graceful-shutdown budget: how long :meth:`close` waits for
+        #: in-flight queries to resolve and watchers to take their
+        #: final frame before tearing the loop down anyway
+        self.drain_timeout = drain_timeout
         #: (host, port) actually bound (port 0 resolves at start)
         self.address: Optional[Tuple[str, int]] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._work = asyncio.Event()
+        #: set by :meth:`close`: watch streams emit one ``final`` frame
+        #: and end instead of sleeping into the next interval
+        self._draining = asyncio.Event()
+        #: live ``/watch`` handler tokens (close waits for them)
+        self._watchers: set = set()
         #: ticket.id -> future resolved when the core completes it
         self._waiters: Dict[int, asyncio.Future] = {}
 
@@ -93,6 +105,26 @@ class FrontDoor:
         return self.address
 
     async def close(self) -> None:
+        """Graceful drain, then teardown.
+
+        Order matters: (1) stop accepting new connections, (2) let
+        every in-flight ``POST /query`` resolve through the pump, (3)
+        let every ``/watch`` stream emit one last frame (marked
+        ``"final": true``) and end, (4) only then cancel the pump task
+        and close the listening sockets.  Everything after step 1 is
+        bounded by ``drain_timeout`` so a wedged client cannot hold
+        shutdown hostage.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        self._draining.set()
+        self._work.set()  # wake the pump so queued work finishes
+        if self._server is not None:
+            self._server.close()  # stop accepting; handlers keep going
+        while self._waiters and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        while self._watchers and loop.time() < deadline:
+            await asyncio.sleep(0.01)
         if self._pump_task is not None:
             self._pump_task.cancel()
             try:
@@ -100,8 +132,13 @@ class FrontDoor:
             except asyncio.CancelledError:
                 pass
         if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(),
+                    timeout=max(0.0, deadline - loop.time()) + 0.1,
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - wedged peer
+                pass
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -378,18 +415,38 @@ class FrontDoor:
         await writer.drain()
         seq = 0
         prev_completed = self.service.completed_count
-        while frames <= 0 or seq < frames:
-            await asyncio.sleep(interval)
-            frame = self.watch_frame(seq, prev_completed)
-            frame["throughput_qps"] = round(
-                frame["delta_completed"] / interval, 3
-            )
-            prev_completed = frame["completed"]
-            writer.write(
-                (json.dumps(frame, default=str) + "\n").encode()
-            )
-            await writer.drain()
-            seq += 1
+        token = object()
+        self._watchers.add(token)
+        try:
+            while frames <= 0 or seq < frames:
+                # sleep one interval — or less, if a drain begins: the
+                # stream then emits one last frame (marked final) and
+                # ends cleanly instead of dying mid-interval
+                final = self._draining.is_set()
+                if not final:
+                    try:
+                        await asyncio.wait_for(
+                            self._draining.wait(), timeout=interval
+                        )
+                        final = True
+                    except asyncio.TimeoutError:
+                        pass
+                frame = self.watch_frame(seq, prev_completed)
+                frame["throughput_qps"] = round(
+                    frame["delta_completed"] / interval, 3
+                )
+                if final:
+                    frame["final"] = True
+                prev_completed = frame["completed"]
+                writer.write(
+                    (json.dumps(frame, default=str) + "\n").encode()
+                )
+                await writer.drain()
+                seq += 1
+                if final:
+                    return
+        finally:
+            self._watchers.discard(token)
 
 
 def _options_from(opts: Optional[dict]) -> Optional[QueryOptions]:
@@ -418,20 +475,44 @@ def run_front_door(
 ) -> None:
     """Blocking entry point for ``repro serve --listen`` — runs the
     event loop until interrupted.  ``ready(host, port)`` is called once
-    the socket is bound (the CLI prints the resolved address)."""
+    the socket is bound (the CLI prints the resolved address).
+
+    Shutdown is graceful: SIGINT/SIGTERM set a stop event (installed
+    via ``loop.add_signal_handler`` where the platform supports it),
+    and :meth:`FrontDoor.close` then drains in-flight queries and lets
+    watch streams take a final frame before the loop exits.  Platforms
+    without signal-handler support fall back to ``serve_forever`` and
+    a plain ``KeyboardInterrupt``.
+    """
+    import signal
 
     async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
         door = FrontDoor(
             service, host, port, steps_per_second=steps_per_second
         )
         bound_host, bound_port = await door.start()
         if ready is not None:
             ready(bound_host, bound_port)
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue
+            installed.append(sig)
         try:
-            await door.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            if installed:
+                await stop.wait()
+            else:  # pragma: no cover - non-unix event loops
+                try:
+                    await door.serve_forever()
+                except asyncio.CancelledError:
+                    pass
         finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
             await door.close()
 
     try:

@@ -199,11 +199,17 @@ class DatasetCatalog:
         self,
         overhead: OverheadModel = OverheadModel(),
         max_bytes: Optional[int] = None,
+        store=None,
     ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
         self.overhead = overhead
         self.max_bytes = max_bytes
+        #: attached StoreReader (boot-from-store path); None = always
+        #: warm fresh
+        self.store = None
+        if store is not None:
+            self.attach_store(store)
         self.evictions = 0
         #: transparent re-loads of watermark-evicted datasets
         self.reloads = 0
@@ -219,6 +225,18 @@ class DatasetCatalog:
     def _touch(self, name: str) -> None:
         self._access_clock += 1
         self._access[name] = self._access_clock
+
+    def attach_store(self, store):
+        """Attach a warmed-artifact store (path or ``StoreReader``).
+
+        Subsequent :meth:`load` calls restore from it when possible;
+        a missing or corrupt store degrades to fresh builds, never to
+        an error (see :mod:`repro.store`).
+        """
+        from ..store import StoreReader  # deferred: store imports us
+
+        self.store = StoreReader.open(store)
+        return self.store
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -245,6 +263,13 @@ class DatasetCatalog:
         existing = self._existing(name, config)
         if existing is not None:
             return existing
+        if self.store is not None:
+            restored = self._restore_from_store(
+                name, scale, tuple(algorithms), ftv_method,
+                max_path_length, config,
+            )
+            if restored is not None:
+                return restored
         if name in NFV_DATASETS:
             graphs = [build_nfv_graph(name, scale)]
             kind = "nfv"
@@ -259,6 +284,114 @@ class DatasetCatalog:
         return self._install(
             name, graphs, kind, scale, tuple(algorithms), ftv_method,
             max_path_length, config,
+        )
+
+    def restore(
+        self,
+        name: str,
+        scale: str = "default",
+        algorithms: tuple[str, ...] = ("GQL", "SPA"),
+        ftv_method: str = "Grapes",
+        max_path_length: int = 3,
+    ) -> DatasetEntry:
+        """Boot ``name`` from the attached store (strict entry point).
+
+        Unlike :meth:`load` — which treats the store as a transparent
+        accelerator and silently warms fresh on any miss — this raises
+        :class:`repro.store.StoreError` when no store is attached or
+        the store cannot serve the dataset's *graphs* (absent,
+        config-mismatched, or corrupt beyond its blobs).  A corrupt
+        *index* blob still degrades to an in-process rebuild over the
+        restored graphs, because the restored entry is digest-identical
+        either way.
+        """
+        from ..store import StoreError
+
+        if self.store is None:
+            raise StoreError(
+                f"cannot restore {name!r}: no store attached"
+            )
+        config = (scale, tuple(algorithms), ftv_method, max_path_length)
+        existing = self._existing(name, config)
+        if existing is not None:
+            return existing
+        entry = self._restore_from_store(
+            name, scale, tuple(algorithms), ftv_method,
+            max_path_length, config,
+        )
+        if entry is None:
+            raise StoreError(
+                f"store at {self.store.root!r} cannot serve {name!r} "
+                f"with config {config}"
+            )
+        return entry
+
+    def _restore_from_store(
+        self,
+        name: str,
+        scale: str,
+        algorithms: tuple[str, ...],
+        ftv_method: str,
+        max_path_length: int,
+        config: tuple,
+    ) -> Optional[DatasetEntry]:
+        """One restore attempt; None = miss (caller warms fresh).
+
+        Degradation ladder: a config/layout mismatch is a clean miss; a
+        corrupt graphs blob is a miss after the reader quarantined it
+        (the named builder regenerates identical graphs); a corrupt
+        index blob keeps the restored graphs and rebuilds just the
+        index in process.  Every detection is already counted and
+        logged by the :class:`~repro.store.StoreReader`.
+        """
+        from ..store import StoreError
+
+        reader = self.store
+        rec = reader.dataset_record(name)
+        if rec is None:
+            return None
+        manifest = reader.manifest
+        if manifest is None or manifest.layout.get("sharded"):
+            reader.misses += 1
+            reader._event(
+                "layout_mismatch", dataset=name,
+                wanted="unsharded", found=manifest.layout
+                if manifest else None,
+            )
+            return None
+        if (
+            rec.get("scale") != scale
+            or tuple(rec.get("algorithms", ())) != tuple(algorithms)
+            or rec.get("ftv_method") != ftv_method
+            or rec.get("max_path_length") != max_path_length
+        ):
+            reader.misses += 1
+            reader._event(
+                "config_mismatch", dataset=name,
+                wanted=[scale, list(algorithms), ftv_method,
+                        max_path_length],
+            )
+            return None
+        try:
+            graphs = reader.load_graphs(name)
+        except StoreError:
+            reader.rebuilds += 1
+            return None
+        reader.restores += 1
+        kind = rec.get("kind")
+        index = None
+        if kind == "ftv":
+            try:
+                index = reader.load_index(
+                    name, graphs, ftv_method=ftv_method,
+                    max_path_length=max_path_length,
+                )
+                reader.restores += 1
+            except StoreError:
+                reader.rebuilds += 1
+        return self._install(
+            name, graphs, kind, scale, tuple(algorithms), ftv_method,
+            max_path_length, config, prebuilt_index=index,
         )
 
     def _existing(self, name: str, config: tuple):
@@ -290,8 +423,14 @@ class DatasetCatalog:
         ftv_method: str,
         max_path_length: int,
         config: tuple,
+        prebuilt_index: Optional[FTVIndex] = None,
     ) -> DatasetEntry:
-        """Build, warm, freeze, and store one entry (load + register)."""
+        """Build, warm, freeze, and store one entry (load + register).
+
+        ``prebuilt_index`` is the store-boot shortcut: an FTV index
+        already reconstructed from disk skips the census build and is
+        warmed (sealed) and frozen exactly like a fresh one.
+        """
         if kind == "nfv":
             psi = PsiNFV(graphs[0], overhead=self.overhead)
             for alg in algorithms:
@@ -307,8 +446,10 @@ class DatasetCatalog:
                 load_config=config,
             )
         else:
-            if ftv_method == "Grapes":
-                index: FTVIndex = GrapesIndex(
+            if prebuilt_index is not None:
+                index: FTVIndex = prebuilt_index
+            elif ftv_method == "Grapes":
+                index = GrapesIndex(
                     graphs, max_path_length=max_path_length
                 )
             elif ftv_method == "GGSX":
@@ -345,6 +486,7 @@ class DatasetCatalog:
         algorithms: tuple[str, ...] = ("GQL", "SPA"),
         ftv_method: str = "Grapes",
         max_path_length: int = 3,
+        prebuilt_index: Optional[FTVIndex] = None,
     ) -> DatasetEntry:
         """Install pre-built ``graphs`` as a warm entry under ``name``.
 
@@ -375,6 +517,7 @@ class DatasetCatalog:
         return self._install(
             name, list(graphs), kind, scale, tuple(algorithms),
             ftv_method, max_path_length, config,
+            prebuilt_index=prebuilt_index,
         )
 
     def adopt(self, entry: DatasetEntry) -> DatasetEntry:
@@ -502,7 +645,7 @@ class DatasetCatalog:
             name: entry.memory_report()
             for name, entry in sorted(self._entries.items())
         }
-        return {
+        report = {
             "datasets": per,
             "total_bytes": sum(r["total_bytes"] for r in per.values()),
             "watermark_bytes": self.max_bytes,
@@ -510,3 +653,6 @@ class DatasetCatalog:
             "reloads": self.reloads,
             "evicted": list(self.evicted),
         }
+        if self.store is not None:
+            report["store"] = self.store.as_metrics()
+        return report

@@ -41,6 +41,8 @@ plan) produce identical answers, reroutes, and digests.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 from dataclasses import dataclass
 from enum import Enum
@@ -49,6 +51,7 @@ __all__ = [
     "ReplicaState",
     "FaultEvent",
     "FaultInjector",
+    "StoreFaultInjector",
     "chaos_plan",
 ]
 
@@ -183,6 +186,176 @@ class FaultInjector:
         registry.gauge(
             f"{prefix}.pending", lambda: len(self._pending), replace=True
         )
+
+
+class StoreFaultInjector:
+    """Filesystem fault injection against a warmed-artifact store.
+
+    PR 6 made *runtime* failure first-class; this extends the same
+    discipline to the storage layer (:mod:`repro.store`): every way
+    disk can lie about a persisted warm artifact is one deterministic
+    method here, and the ``store-smoke`` corruption matrix asserts each
+    class is detected on load, quarantined, and recovered from with
+    answers digest-equal to a healthy never-persisted run.
+
+    Victim selection is deterministic: blobs are addressed by their
+    sorted on-disk order (``index`` parameter), byte/bit offsets default
+    to mid-file, and the only randomness is the seeded ``rng`` used
+    when an offset is left to chance — so a drill replays exactly.
+    """
+
+    #: the corruption taxonomy (docs/STORE.md recovery matrix rows)
+    CORRUPTIONS = (
+        "torn_write",
+        "truncate",
+        "bit_flip",
+        "delete_blob",
+        "version_skew",
+        "stale_manifest",
+        "duplicate_manifest",
+    )
+
+    def __init__(self, root: str, seed: int = 0) -> None:
+        self.root = str(root)
+        self.rng = random.Random(seed)
+        #: injections performed, in order (JSON-ready dicts)
+        self.applied: list[dict] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def blob_paths(self) -> list[str]:
+        """Published blob files, sorted by address (victim order)."""
+        from ..store.blobs import BlobStore
+
+        bs = BlobStore(self.root)
+        return [bs.path_for(a) for a in bs.addresses()]
+
+    def _victim(self, index: int) -> str:
+        paths = self.blob_paths()
+        if not paths:
+            raise ValueError(f"store at {self.root!r} has no blobs")
+        return paths[index % len(paths)]
+
+    def _record(self, kind: str, **fields) -> dict:
+        entry = {"kind": kind, **fields}
+        self.applied.append(entry)
+        return entry
+
+    def _manifest_path(self) -> str:
+        from ..store.manifest import manifest_path
+
+        return manifest_path(self.root)
+
+    # -- blob corruption ----------------------------------------------
+
+    def torn_write(self, index: int = 0, at_byte: int | None = None) -> dict:
+        """Cut a blob at byte ``k`` — the tail of a write that never
+        finished (detected as a length/checksum mismatch on load)."""
+        path = self._victim(index)
+        size = os.path.getsize(path)
+        k = at_byte if at_byte is not None else max(1, size // 2)
+        with open(path, "rb+") as fh:
+            fh.truncate(k)
+        return self._record("torn_write", path=path, at_byte=k)
+
+    def truncate(self, index: int = 0, keep: int = 0) -> dict:
+        """Truncate a blob to ``keep`` bytes (0 = empty file)."""
+        path = self._victim(index)
+        with open(path, "rb+") as fh:
+            fh.truncate(keep)
+        return self._record("truncate", path=path, keep=keep)
+
+    def bit_flip(
+        self, index: int = 0, bit: int | None = None
+    ) -> dict:
+        """Flip a single bit mid-blob (silent media corruption —
+        length unchanged, so only the checksum can catch it)."""
+        path = self._victim(index)
+        size = os.path.getsize(path)
+        if bit is None:
+            bit = self.rng.randrange(size * 8)
+        byte, offset = divmod(bit, 8)
+        with open(path, "rb+") as fh:
+            fh.seek(byte)
+            value = fh.read(1)[0]
+            fh.seek(byte)
+            fh.write(bytes([value ^ (1 << offset)]))
+        return self._record("bit_flip", path=path, bit=bit)
+
+    def delete_blob(self, index: int = 0) -> dict:
+        """Remove a manifest-referenced blob outright."""
+        path = self._victim(index)
+        os.unlink(path)
+        return self._record("delete_blob", path=path)
+
+    # -- manifest corruption ------------------------------------------
+
+    def version_skew(self, bump: int = 1) -> dict:
+        """Rewrite the manifest as a *future* format generation.
+
+        The checksum is recomputed over the skewed body, so the only
+        defect is the version — isolating the version gate from the
+        integrity gate.  A reader must refuse the whole store.
+        """
+        path = self._manifest_path()
+        from ..store.blobs import sha256_hex
+
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc.pop("checksum", None)
+        doc["version"] = doc.get("version", 0) + bump
+        canonical = json.dumps(
+            doc, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        doc["checksum"] = sha256_hex(canonical)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=1)
+        return self._record(
+            "version_skew", path=path, version=doc["version"]
+        )
+
+    def stale_manifest(self) -> dict:
+        """Edit the manifest body without refreshing its checksum —
+        the signature of a stale or hand-patched root document."""
+        path = self._manifest_path()
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        doc["epoch"] = doc.get("epoch", 0) + 1  # body/checksum now skew
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=1)
+        return self._record("stale_manifest", path=path)
+
+    def duplicate_manifest(self) -> dict:
+        """Leave a stray atomic-write temp file next to the manifest
+        (a crashed rewrite).  Readers must ignore it — this injection
+        asserts the *absence* of an effect."""
+        path = self._manifest_path()
+        from ..store.blobs import TMP_PREFIX
+
+        dup = os.path.join(
+            self.root, f"{TMP_PREFIX}MANIFEST.json.crashed"
+        )
+        with open(path, "rb") as src, open(dup, "wb") as dst:
+            data = src.read()
+            dst.write(data[: max(1, len(data) // 2)])
+        return self._record("duplicate_manifest", path=dup)
+
+    # -- dispatch ------------------------------------------------------
+
+    def inject(self, kind: str, **kwargs) -> dict:
+        """Apply one corruption class by name (matrix driver hook)."""
+        if kind not in self.CORRUPTIONS:
+            raise ValueError(
+                f"unknown store fault {kind!r}; known: "
+                f"{self.CORRUPTIONS}"
+            )
+        return getattr(self, kind)(**kwargs)
+
+    def summary(self) -> dict:
+        return {
+            "applied": list(self.applied),
+            "classes": sorted({e["kind"] for e in self.applied}),
+        }
 
 
 def chaos_plan(

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from ..metrics import summarize_latencies
 from ..workload import MixedQuery
 from .admission import Ticket, TicketState
+from .faults import ReplicaState
 from .service import (
     QueryOptions,
     Service,
@@ -65,6 +66,10 @@ class LoadReport:
     rebalance: dict = field(default_factory=dict)
     #: chaos summary when a FaultInjector rode along (else empty)
     chaos: dict = field(default_factory=dict)
+    #: artifact-store summary when the service served from a
+    #: persisted store and/or the regrow drill ran (else empty):
+    #: reader counters plus one row per replica regrown mid-load
+    store: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[Ticket]:
@@ -136,6 +141,7 @@ class LoadReport:
             "routing": self.service_stats["routing"],
             "rebalance": self.rebalance,
             "chaos": self.chaos,
+            "store": self.store,
         }
 
 
@@ -173,6 +179,19 @@ def _chaos_summary(
     }
 
 
+def _store_summary(service: Service, regrown) -> dict:
+    """The ``store`` section of the bench payload (empty without a
+    persisted store and without regrow activity)."""
+    metrics = service.store_metrics()
+    if not metrics and not regrown:
+        return {}
+    return {
+        "enabled": bool(metrics),
+        "metrics": metrics,
+        "regrown": list(regrown or []),
+    }
+
+
 def _report(
     service: Service,
     tickets: list[Ticket],
@@ -180,6 +199,7 @@ def _report(
     config: dict,
     rebalancer=None,
     faults=None,
+    regrown=None,
 ) -> LoadReport:
     done = [t for t in tickets if t.state is TicketState.DONE]
     return LoadReport(
@@ -199,6 +219,7 @@ def _report(
             if faults is not None
             else {}
         ),
+        store=_store_summary(service, regrown),
     )
 
 
@@ -241,6 +262,7 @@ def run_closed_loop(
     rebalancer=None,
     rebalance_every: int = 0,
     faults=None,
+    regrow: bool = False,
 ) -> LoadReport:
     """Closed-loop load: each tenant keeps ``concurrency`` in flight.
 
@@ -259,15 +281,53 @@ def run_closed_loop(
     the virtual clock as the loop pumps — chaos mode.  The report then
     carries a ``chaos`` section (injection counters, the zero-lost-
     tickets check, and a healthy-vs-fault-touched latency split).
+
+    With ``regrow=True`` (sharded services only) the loop heals
+    permanent losses as they happen: whenever a shard has more DEAD
+    replicas than it has regrown so far, :meth:`Service.add_replica`
+    scales it back out *mid-load* — with a store attached the newcomer
+    boots from disk (the elastic O(read) path the persistence layer
+    exists for).  Each regrow is recorded in the report's ``store``
+    section with the virtual clock it happened at and whether it came
+    from the store.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     if faults is not None:
         service.install_faults(faults)
+    regrow = regrow and service.sharded
     pending = {t: list(s) for t, s in streams.items()}
     outstanding = {t: 0 for t in streams}
     tickets: list[Ticket] = []
+    regrown: list[dict] = []
+    healed: dict[int, int] = {}
     start = time.perf_counter()
+
+    def regrow_dead() -> None:
+        # one replacement per permanent loss, placed the same tick the
+        # loop observes the death — deterministic on the virtual clock
+        reader = service.catalog.store
+        for shard in range(service.catalog.num_shards):
+            dead = sum(
+                1
+                for (s, _r), state in service.replica_states.items()
+                if s == shard and state is ReplicaState.DEAD
+            )
+            while healed.get(shard, 0) < dead:
+                before = reader.restores if reader is not None else 0
+                replica = service.add_replica(shard)
+                healed[shard] = healed.get(shard, 0) + 1
+                regrown.append(
+                    {
+                        "shard": shard,
+                        "replica": replica,
+                        "clock": service.clock,
+                        "from_store": bool(
+                            reader is not None
+                            and reader.restores > before
+                        ),
+                    }
+                )
 
     def feed() -> None:
         # tenant order is sorted for determinism
@@ -292,6 +352,8 @@ def run_closed_loop(
         finished = service.pump()
         for t in finished:
             outstanding[t.tenant] -= 1
+        if regrow:
+            regrow_dead()
         since_check += len(finished)
         if check and since_check >= rebalance_every:
             # quiesce: withhold new submissions until in-flight work
@@ -306,5 +368,6 @@ def run_closed_loop(
             break
     wall = time.perf_counter() - start
     return _report(
-        service, tickets, wall, config or {}, rebalancer, faults
+        service, tickets, wall, config or {}, rebalancer, faults,
+        regrown=regrown if regrow else None,
     )

@@ -273,7 +273,11 @@ class Rebalancer:
         so the decision is a pure function of the same step bills the
         migration path reads; changes go through the service's
         quiesce-point scaling operations, which keep catalog replicas
-        and dispatcher pools in lockstep.
+        and dispatcher pools in lockstep.  When the service carries an
+        artifact store (``Service(store=...)``), the grow path boots
+        the new replica from disk — checksum-verified restore instead
+        of an in-process index rebuild — so elastic scale-out costs
+        O(read), not O(warm).
         """
         if not self.replica_scaling or not serving:
             return []

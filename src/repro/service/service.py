@@ -274,6 +274,7 @@ class Service:
         degraded_retry_after: int = 4_096,
         faults: Optional[FaultInjector] = None,
         trace_capacity: int = 512,
+        store=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -283,15 +284,18 @@ class Service:
             raise ValueError("max_retries must be >= 0")
         if catalog is not None:
             self.catalog = catalog
+            if store is not None:
+                self.catalog.attach_store(store)
         elif shards > 1 or replicas > 1:
             self.catalog = ShardedCatalog(
                 num_shards=shards,
                 overhead=overhead,
                 assignment=assignment,
                 replicas=replicas,
+                store=store,
             )
         else:
-            self.catalog = DatasetCatalog(overhead=overhead)
+            self.catalog = DatasetCatalog(overhead=overhead, store=store)
         #: fan queries out across catalog shards (each shard gets its
         #: own worker pool of ``workers`` slots per replica)
         self.sharded = isinstance(self.catalog, ShardedCatalog)
@@ -414,11 +418,17 @@ class Service:
         self._m_replicas_retired = _c("service.replicas_retired")
         #: injected events that found nothing to act on
         self._m_faults_noop = _c("service.faults_noop")
+        #: next synthetic ticket id for non-query trace records (store
+        #: boots, replica grows); counts down so it can never collide
+        #: with real ticket ids, which are positive
+        self._synthetic_trace_id = -1
         self._register_stats_metrics()
         self.admission.register_metrics(self.metrics)
         self.dispatcher.register_metrics(self.metrics)
         if faults is not None:
             faults.register_metrics(self.metrics)
+        if self.catalog.store is not None:
+            self.catalog.store.register_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -1575,9 +1585,29 @@ class Service:
 
     def add_replica(self, shard: int) -> int:
         """Scale one shard out by a warm replica (catalog + pool grow
-        in lockstep).  Returns the new replica id."""
+        in lockstep).  Returns the new replica id.
+
+        With a store attached the newcomer boots from disk (an O(read)
+        restore instead of an in-process rebuild) and the boot gets its
+        own trace under a synthetic negative ticket id: a ``store_boot``
+        span whose child events replay exactly what the store reader
+        saw (verifications, corruption quarantines, rebuild fallbacks).
+        """
         if not self.sharded:
             raise ValueError("replicas need a sharded catalog")
+        store = self.catalog.store
+        tid = span = None
+        events_before = restores_before = rebuilds_before = 0
+        if store is not None:
+            tid = self._synthetic_trace_id
+            self._synthetic_trace_id -= 1
+            self.tracer.start(
+                tid, self.clock, kind="add_replica", shard=shard
+            )
+            span = self.tracer.begin(tid, "store_boot", self.clock)
+            events_before = len(store.events)
+            restores_before = store.restores
+            rebuilds_before = store.rebuilds
         replica = self.catalog.add_replica(shard)
         pool = self.dispatcher.add_pool()
         expected = self.catalog.pool_index(shard, replica)
@@ -1586,6 +1616,24 @@ class Service:
                 f"pool {pool} != catalog pool {expected}; grow "
                 "replicas through Service.add_replica only"
             )
+        if store is not None:
+            for ev in store.events[events_before:]:
+                attrs = {k: v for k, v in ev.items() if k != "event"}
+                self.tracer.event(
+                    tid,
+                    f"store.{ev.get('event', 'event')}",
+                    self.clock,
+                    parent=span,
+                    **attrs,
+                )
+            self.tracer.end(
+                tid,
+                span,
+                self.clock,
+                restores=store.restores - restores_before,
+                rebuilds=store.rebuilds - rebuilds_before,
+            )
+            self.tracer.finish(tid, self.clock, replica=replica)
         return replica
 
     def retire_replica(
@@ -1966,6 +2014,12 @@ class Service:
         """
         value = self.metrics.value
         return {key: value(f"service.{key}") for key in self._STATS_KEYS}
+
+    def store_metrics(self) -> dict:
+        """Counters of the attached artifact store reader ({} when the
+        service runs without persistence)."""
+        store = self.catalog.store
+        return store.as_metrics() if store is not None else {}
 
     # ------------------------------------------------------------------
     # traces

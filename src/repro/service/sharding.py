@@ -241,6 +241,7 @@ class ShardedCatalog:
         max_bytes: Optional[int] = None,
         assignment: str = "size_balanced",
         replicas: int = 1,
+        store=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -252,6 +253,17 @@ class ShardedCatalog:
         self.replicas = replicas
         self.overhead = overhead
         self.assignment_strategy = assignment
+        #: attached StoreReader (boot-from-store path); None = always
+        #: warm fresh.  Per-shard index blobs restore through
+        #: :meth:`_register_replica`, so scale-out replicas boot in
+        #: O(read) too.
+        self.store = None
+        #: dataset name -> verified manifest record usable for
+        #: per-shard index restores (layout + config + assignment all
+        #: matched this catalog at load time)
+        self._store_records: dict[str, dict] = {}
+        if store is not None:
+            self.attach_store(store)
         self._per_replica_bytes = (
             max_bytes // (num_shards * replicas)
             if max_bytes is not None
@@ -286,6 +298,18 @@ class ShardedCatalog:
         self.replicas_added = 0
         self.replicas_released = 0
         self._entries: dict[str, ShardedEntry] = {}
+
+    def attach_store(self, store):
+        """Attach a warmed-artifact store (path or ``StoreReader``).
+
+        Mirrors :meth:`DatasetCatalog.attach_store`: the store is a
+        transparent accelerator — any miss, mismatch, or corruption
+        degrades to a fresh warm build.
+        """
+        from ..store import StoreReader  # deferred: store imports us
+
+        self.store = StoreReader.open(store)
+        return self.store
 
     def _materialize_replica(self, shard: int) -> int:
         """Create one replica catalog + pool slot for ``shard``."""
@@ -341,11 +365,15 @@ class ShardedCatalog:
         materialized)."""
         return self.pool_catalogs[self._pool_of[(shard, replica)]]
 
-    def add_replica(self, shard: int) -> int:
+    def add_replica(
+        self, shard: int, prefer_store: Optional[bool] = None
+    ) -> int:
         """Materialize one more replica of ``shard`` and warm it.
 
         Every loaded dataset with graphs on the shard is installed on
-        the new replica by adopting a sibling's frozen entry (no
+        the new replica — from the attached store when one is (the
+        elastic O(read) boot; ``prefer_store`` defaults to "store
+        attached"), else by adopting a sibling's frozen entry (no
         rebuild).  Returns the new replica id.  Callers growing a live
         service must go through ``Service.add_replica`` so the
         dispatcher grows its pool in lockstep.
@@ -355,11 +383,15 @@ class ShardedCatalog:
                 f"shard {shard} out of range (catalog has "
                 f"{self.num_shards} shards)"
             )
+        if prefer_store is None:
+            prefer_store = self.store is not None
         replica = self._materialize_replica(shard)
         for name in self.datasets():
             entry = self._entries[name]
             if entry.assignment[shard]:
-                self._register_replica(entry, shard, replica)
+                self._register_replica(
+                    entry, shard, replica, prefer_store=prefer_store
+                )
         self.replicas_added += 1
         return replica
 
@@ -407,8 +439,15 @@ class ShardedCatalog:
                     f"re-loading with {config}"
                 )
             return existing
+        record = graphs = None
+        if self.store is not None:
+            record, graphs = self._store_lookup(
+                name, scale, tuple(algorithms), ftv_method,
+                max_path_length,
+            )
         if name in NFV_DATASETS:
-            graphs = [build_nfv_graph(name, scale)]
+            if graphs is None:
+                graphs = [build_nfv_graph(name, scale)]
             kind = "nfv"
             home = zlib.crc32(name.encode()) % self.num_shards
             assignment = tuple(
@@ -416,7 +455,8 @@ class ShardedCatalog:
                 for s in range(self.num_shards)
             )
         elif name in FTV_DATASETS:
-            graphs = build_ftv_graphs(name, scale)
+            if graphs is None:
+                graphs = build_ftv_graphs(name, scale)
             kind = "ftv"
             home = 0
             assignment = assign_shards(
@@ -427,6 +467,23 @@ class ShardedCatalog:
                 f"unknown dataset {name!r}; known: "
                 f"{NFV_DATASETS + FTV_DATASETS}"
             )
+        if record is not None:
+            # index blobs were dumped against the manifest's partition;
+            # they are only valid if this catalog partitions the same
+            # way (it should — assignment is a pure function of the
+            # graphs, shard count, and strategy, all matched above)
+            if (
+                record.get("kind") != kind
+                or record.get("assignment")
+                != [list(ids) for ids in assignment]
+            ):
+                self.store.misses += 1
+                self.store._event(
+                    "assignment_mismatch", dataset=name,
+                    stored=record.get("assignment"),
+                )
+            elif kind == "ftv":
+                self._store_records[name] = record
         entry = ShardedEntry(
             name=name,
             scale=scale,
@@ -447,6 +504,67 @@ class ShardedCatalog:
         for shard in entry.involved_shards():
             self._register_shard(entry, shard)
         return entry
+
+    def _store_lookup(
+        self,
+        name: str,
+        scale: str,
+        algorithms: tuple[str, ...],
+        ftv_method: str,
+        max_path_length: int,
+    ) -> tuple[Optional[dict], Optional[list]]:
+        """(manifest record, restored graphs) for one dataset, either
+        of which may be ``None``.
+
+        A layout or config mismatch is a clean miss (the store was
+        warmed for a different catalog shape — not corruption).  A
+        corrupt graphs blob keeps the *record*: the builders are
+        deterministic, so freshly built graphs carry the same label
+        codes and the per-shard index blobs stay valid against them.
+        """
+        from ..store import StoreError
+
+        reader = self.store
+        rec = reader.dataset_record(name)
+        if rec is None:
+            return None, None
+        layout = reader.manifest.layout if reader.manifest else {}
+        if (
+            not layout.get("sharded")
+            or layout.get("num_shards") != self.num_shards
+            or layout.get("assignment") != self.assignment_strategy
+        ):
+            reader.misses += 1
+            reader._event(
+                "layout_mismatch", dataset=name,
+                wanted={
+                    "sharded": True,
+                    "num_shards": self.num_shards,
+                    "assignment": self.assignment_strategy,
+                },
+                found=layout,
+            )
+            return None, None
+        if (
+            rec.get("scale") != scale
+            or tuple(rec.get("algorithms", ())) != tuple(algorithms)
+            or rec.get("ftv_method") != ftv_method
+            or rec.get("max_path_length") != max_path_length
+        ):
+            reader.misses += 1
+            reader._event(
+                "config_mismatch", dataset=name,
+                wanted=[scale, list(algorithms), ftv_method,
+                        max_path_length],
+            )
+            return None, None
+        try:
+            graphs = reader.load_graphs(name)
+        except StoreError:
+            reader.rebuilds += 1
+            return rec, None
+        reader.restores += 1
+        return rec, graphs
 
     def _register_shard(
         self, entry: ShardedEntry, shard: int
@@ -472,7 +590,11 @@ class ShardedCatalog:
         return sub
 
     def _register_replica(
-        self, entry: ShardedEntry, shard: int, replica: int
+        self,
+        entry: ShardedEntry,
+        shard: int,
+        replica: int,
+        prefer_store: bool = False,
     ) -> DatasetEntry:
         """(Re-)register one partition on one replica catalog.
 
@@ -481,25 +603,58 @@ class ShardedCatalog:
         adopted instead of rebuilt — that is the warm-artifact sharing
         the replication layer is allowed: entries are immutable after
         freeze, so replicas serving the same object cannot diverge.
+
+        When the sharded catalog was booted from a store, the shard's
+        warm index restores from its blob instead of rebuilding
+        (checked + quarantined through the reader; a bad blob degrades
+        to an in-process rebuild).  ``prefer_store=True`` — the
+        ``Service.add_replica`` scale-out path — restores from disk
+        *even when a donor sibling exists*: a newcomer under live
+        chaos load boots from the store by contract, not by accident.
         """
         catalog = self.catalog_of(shard, replica)
         part = [entry.graphs[g] for g in entry.assignment[shard]]
-        for sibling in self.replica_ids(shard):
-            if sibling == replica:
-                continue
-            donor = self.catalog_of(shard, sibling)._entries.get(
-                entry.name
-            )
-            if (
-                donor is not None
-                and len(donor.graphs) == len(part)
-                and all(a is b for a, b in zip(donor.graphs, part))
-            ):
-                self.shared_warm += 1
-                return catalog.adopt(donor)
         scale, algorithms, ftv_method, max_path_length = (
             entry._register_config
         )
+
+        def restore_index():
+            if entry.kind != "ftv":
+                return None
+            record = self._store_records.get(entry.name)
+            if record is None or self.store is None:
+                return None
+            from ..store import StoreError
+
+            try:
+                index = self.store.load_index(
+                    entry.name, part, shard=shard,
+                    ftv_method=ftv_method,
+                    max_path_length=max_path_length,
+                )
+            except StoreError:
+                self.store.rebuilds += 1
+                return None
+            self.store.restores += 1
+            return index
+
+        index = restore_index() if prefer_store else None
+        if index is None:
+            for sibling in self.replica_ids(shard):
+                if sibling == replica:
+                    continue
+                donor = self.catalog_of(shard, sibling)._entries.get(
+                    entry.name
+                )
+                if (
+                    donor is not None
+                    and len(donor.graphs) == len(part)
+                    and all(a is b for a, b in zip(donor.graphs, part))
+                ):
+                    self.shared_warm += 1
+                    return catalog.adopt(donor)
+            if not prefer_store:
+                index = restore_index()
         return catalog.register(
             entry.name,
             part,
@@ -508,6 +663,7 @@ class ShardedCatalog:
             algorithms=algorithms,
             ftv_method=ftv_method,
             max_path_length=max_path_length,
+            prebuilt_index=index,
         )
 
     def get(self, name: str) -> ShardedEntry:
@@ -668,7 +824,13 @@ class ShardedCatalog:
             per_pool[self._pool_of[(s, 0)]]
             for s in range(self.num_shards)
         ]
+        store = (
+            {"store": self.store.as_metrics()}
+            if self.store is not None
+            else {}
+        )
         return {
+            **store,
             "num_shards": self.num_shards,
             "replicas": [
                 len(self.replica_ids(s))

@@ -1,0 +1,263 @@
+"""Content-addressed blobs with crash-safe writes (store layer 0).
+
+Three properties the rest of the store builds on (see docs/STORE.md):
+
+* **Content addressing** — a blob's address is a prefix of the SHA-256
+  of its bytes, so identical payloads dedupe and a blob can never be
+  "updated" in place: a new payload is a new address, and a manifest
+  pins exactly the bytes it was written against.
+* **Crash-safe publication** — every write goes temp file → flush →
+  fsync → atomic rename (``os.replace``), so a reader sees either a
+  complete file or no file.  A crash mid-write leaves only a
+  ``.tmp-*`` file that readers ignore, which is what makes a partially
+  written store indistinguishable from no store.
+* **Verified reads** — :meth:`BlobStore.get` re-hashes every blob and
+  checks length + full SHA-256 against the manifest's
+  :class:`BlobRef` before the bytes reach a codec.  A mismatch raises
+  :class:`BlobCorrupt`; the caller quarantines the file (moved into
+  ``quarantine/``, never deleted — operators can autopsy it) and falls
+  back to a rebuild.  Corrupt artifacts are never served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "StoreError",
+    "BlobMissing",
+    "BlobCorrupt",
+    "BlobRef",
+    "BlobStore",
+    "sha256_hex",
+    "atomic_write_bytes",
+    "is_tmp_file",
+]
+
+#: address length in hex chars (64 bits of the SHA-256 — collision
+#: space is tiny per store, and the full digest is still verified)
+ADDRESS_LEN = 16
+
+#: temp-file prefix the atomic-write protocol uses; anything carrying
+#: it is an unpublished write and is ignored by every reader
+TMP_PREFIX = ".tmp-"
+
+BLOB_SUFFIX = ".blob"
+
+
+class StoreError(Exception):
+    """Base of every store failure (missing, corrupt, version skew)."""
+
+
+class BlobMissing(StoreError):
+    """A manifest-referenced blob is not on disk (stale manifest or
+    deleted blob)."""
+
+    def __init__(self, address: str, path: str) -> None:
+        super().__init__(f"blob {address} missing at {path}")
+        self.address = address
+        self.path = path
+
+
+class BlobCorrupt(StoreError):
+    """A blob's bytes do not match its manifest checksum (torn write,
+    truncation, bit flip, or any other way disk can lie)."""
+
+    def __init__(self, address: str, path: str, reason: str) -> None:
+        super().__init__(f"blob {address} corrupt at {path}: {reason}")
+        self.address = address
+        self.path = path
+        self.reason = reason
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def is_tmp_file(name: str) -> bool:
+    """True for unpublished atomic-write leftovers (reader-invisible)."""
+    return name.startswith(TMP_PREFIX)
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str, data: bytes, *, fail_after: Optional[int] = None
+) -> None:
+    """Publish ``data`` at ``path`` crash-safely.
+
+    Protocol: write to a same-directory ``.tmp-*`` file, flush, fsync,
+    then ``os.replace`` onto the final name and fsync the directory.
+    POSIX rename atomicity guarantees any concurrent or later reader
+    sees either the old complete file or the new complete file.
+
+    ``fail_after`` is the fault-injection hook (only tests and
+    :class:`repro.service.faults.StoreFaultInjector` pass it): the
+    write "crashes" after ``fail_after`` bytes of the temp file — the
+    temp file is left behind and the rename never happens, which is
+    exactly what a torn write under this protocol looks like.
+    """
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(
+        directory,
+        f"{TMP_PREFIX}{os.path.basename(path)}.{os.getpid()}",
+    )
+    payload = data if fail_after is None else data[:fail_after]
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if fail_after is not None:
+        return  # simulated crash before publication: target untouched
+    os.replace(tmp, path)
+    _fsync_dir(directory)
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """A manifest's pin of one blob: address + full digest + length."""
+
+    address: str
+    sha256: str
+    length: int
+
+    def as_dict(self) -> dict:
+        return {
+            "address": self.address,
+            "sha256": self.sha256,
+            "length": self.length,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BlobRef":
+        try:
+            return cls(
+                address=str(doc["address"]),
+                sha256=str(doc["sha256"]),
+                length=int(doc["length"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed blob reference: {doc!r}") from exc
+
+
+class BlobStore:
+    """The ``blobs/`` + ``quarantine/`` directories of one store root."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.blobs_dir = os.path.join(self.root, "blobs")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+
+    def ensure(self) -> None:
+        os.makedirs(self.blobs_dir, exist_ok=True)
+
+    def path_for(self, address: str) -> str:
+        return os.path.join(self.blobs_dir, address + BLOB_SUFFIX)
+
+    # -- writes -------------------------------------------------------
+    def put(
+        self, data: bytes, *, fail_after: Optional[int] = None
+    ) -> BlobRef:
+        """Store ``data`` under its content address (idempotent).
+
+        An existing file at the address is re-verified rather than
+        trusted: a corrupt leftover (e.g. a previously quarantine-worthy
+        blob restored by an operator) is overwritten with good bytes.
+        """
+        digest = sha256_hex(data)
+        ref = BlobRef(
+            address=digest[:ADDRESS_LEN], sha256=digest, length=len(data)
+        )
+        self.ensure()
+        path = self.path_for(ref.address)
+        if os.path.exists(path):
+            try:
+                with open(path, "rb") as fh:
+                    if sha256_hex(fh.read()) == digest:
+                        return ref
+            except OSError:
+                pass
+        atomic_write_bytes(path, data, fail_after=fail_after)
+        return ref
+
+    # -- verified reads -----------------------------------------------
+    def get(self, ref: BlobRef) -> bytes:
+        """The blob's bytes, verified against ``ref`` before return."""
+        path = self.path_for(ref.address)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            raise BlobMissing(ref.address, path) from None
+        if len(data) != ref.length:
+            raise BlobCorrupt(
+                ref.address,
+                path,
+                f"length {len(data)} != {ref.length} (torn/truncated)",
+            )
+        digest = sha256_hex(data)
+        if digest != ref.sha256:
+            raise BlobCorrupt(
+                ref.address, path, "sha256 mismatch (bit rot?)"
+            )
+        return data
+
+    # -- quarantine ----------------------------------------------------
+    def quarantine(self, address: str) -> Optional[str]:
+        """Move a blob aside (evidence preserved); None if not on disk."""
+        src = self.path_for(address)
+        if not os.path.exists(src):
+            return None
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        n = 0
+        while True:
+            dst = os.path.join(
+                self.quarantine_dir, f"{address}{BLOB_SUFFIX}.{n}"
+            )
+            if not os.path.exists(dst):
+                break
+            n += 1
+        os.replace(src, dst)
+        return dst
+
+    def quarantine_file(self, path: str, name: str) -> Optional[str]:
+        """Quarantine an arbitrary store file (e.g. a bad manifest)."""
+        if not os.path.exists(path):
+            return None
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        n = 0
+        while True:
+            dst = os.path.join(self.quarantine_dir, f"{name}.{n}")
+            if not os.path.exists(dst):
+                break
+            n += 1
+        os.replace(path, dst)
+        return dst
+
+    # -- introspection -------------------------------------------------
+    def addresses(self) -> list[str]:
+        """Published blob addresses on disk, sorted (tmp files ignored)."""
+        try:
+            names = os.listdir(self.blobs_dir)
+        except FileNotFoundError:
+            return []
+        return sorted(
+            name[: -len(BLOB_SUFFIX)]
+            for name in names
+            if name.endswith(BLOB_SUFFIX) and not is_tmp_file(name)
+        )

@@ -1,0 +1,167 @@
+"""The store manifest: one versioned, self-checksummed root document.
+
+The manifest is the store's single source of truth — the only file a
+reader trusts before verifying anything else.  It is written last
+(after every blob it references is published) through the same atomic
+temp → fsync → rename protocol as blobs, so a store either has a
+complete manifest pinning complete blobs or is treated as absent.
+
+Defenses, in verification order:
+
+1. **Parseability** — a torn or garbled manifest fails JSON parsing →
+   :class:`ManifestError` (the store reads as absent after quarantine).
+2. **Version** — a manifest written by a different format generation
+   raises :class:`StoreVersionSkew`; the whole store is refused (never
+   half-interpreted) and serving falls back to a fresh warm build.
+3. **Self-checksum** — the body carries the SHA-256 of its own
+   canonical JSON rendering.  A stale or hand-edited manifest (blob
+   refs swapped, datasets removed) fails this check even though it
+   parses, closing the "old manifest + new blobs" confusion window.
+
+Blob-level staleness (a manifest whose checksum verifies but that
+references a blob no longer on disk) is detected one layer down, at
+:meth:`repro.store.blobs.BlobStore.get` time, as :class:`BlobMissing`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .blobs import StoreError, atomic_write_bytes, sha256_hex
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "ManifestError",
+    "StoreMissing",
+    "StoreVersionSkew",
+    "load_manifest",
+    "write_manifest",
+    "manifest_path",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: current manifest format generation; bump on incompatible layout
+#: changes so an old reader refuses a new store loudly (and vice versa)
+MANIFEST_VERSION = 1
+
+
+class ManifestError(StoreError):
+    """The manifest is unreadable, unparseable, or fails its checksum."""
+
+
+class StoreMissing(StoreError):
+    """No manifest at the store root (empty dir, or torn first write)."""
+
+
+class StoreVersionSkew(ManifestError):
+    """Manifest written by a different format generation."""
+
+    def __init__(self, found: object, expected: int) -> None:
+        super().__init__(
+            f"manifest version {found!r} != supported {expected}"
+        )
+        self.found = found
+        self.expected = expected
+
+
+def _canonical(doc: dict) -> bytes:
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def manifest_path(root: str) -> str:
+    return os.path.join(str(root), MANIFEST_NAME)
+
+
+@dataclass
+class Manifest:
+    """Decoded manifest: layout + per-dataset records.
+
+    ``layout`` describes the catalog shape the artifacts were warmed
+    under (``sharded``, ``num_shards``, ``assignment``, ``replicas``);
+    a reader only restores into a matching shape.  Each record in
+    ``datasets`` carries the dataset's load configuration and the
+    :class:`~repro.store.blobs.BlobRef` dicts of its graphs blob and
+    warm-index blob(s).
+    """
+
+    epoch: int
+    layout: dict
+    datasets: dict = field(default_factory=dict)
+
+    def body(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "epoch": self.epoch,
+            "layout": self.layout,
+            "datasets": self.datasets,
+        }
+
+    def encode(self) -> bytes:
+        body = self.body()
+        doc = dict(body)
+        doc["checksum"] = sha256_hex(_canonical(body))
+        return json.dumps(doc, sort_keys=True, indent=1).encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Manifest":
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ManifestError(
+                f"manifest unparseable (torn write?): {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ManifestError(
+                f"manifest root must be an object, got {type(doc).__name__}"
+            )
+        version = doc.get("version")
+        if version != MANIFEST_VERSION:
+            raise StoreVersionSkew(version, MANIFEST_VERSION)
+        checksum = doc.pop("checksum", None)
+        if checksum != sha256_hex(_canonical(doc)):
+            raise ManifestError(
+                "manifest self-checksum mismatch (stale or edited)"
+            )
+        datasets = doc.get("datasets")
+        layout = doc.get("layout")
+        if not isinstance(datasets, dict) or not isinstance(layout, dict):
+            raise ManifestError("manifest missing layout/datasets")
+        return cls(
+            epoch=int(doc.get("epoch", 0)),
+            layout=layout,
+            datasets=datasets,
+        )
+
+
+def write_manifest(
+    root: str, manifest: Manifest, *, fail_after: int | None = None
+) -> str:
+    """Atomically publish ``manifest`` at the store root.
+
+    ``fail_after`` simulates a crash mid-write (see
+    :func:`repro.store.blobs.atomic_write_bytes`): the temp file is
+    abandoned and any previously published manifest stays intact —
+    the property that makes a torn store write recoverable.
+    """
+    path = manifest_path(root)
+    os.makedirs(str(root), exist_ok=True)
+    atomic_write_bytes(path, manifest.encode(), fail_after=fail_after)
+    return path
+
+
+def load_manifest(root: str) -> Manifest:
+    """Read + fully verify the manifest (raises on every defect class)."""
+    path = manifest_path(root)
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        raise StoreMissing(f"no manifest at {path}") from None
+    return Manifest.decode(data)

@@ -1,0 +1,190 @@
+"""StoreWriter: persist a warm catalog as checksummed blobs + manifest.
+
+Write order is the crash-safety argument: every blob is published
+(atomically, content-addressed) *before* the manifest that references
+it, and the manifest itself is published last through the same atomic
+rename.  At no point does a complete manifest reference an incomplete
+blob, so a crash at any byte leaves either the previous store intact
+or a pile of reader-invisible temp files — a partially written store
+is indistinguishable from no store.
+
+Epochs are monotone: re-warming into an existing store bumps the
+manifest epoch (old blobs that are no longer referenced simply stay —
+content addressing makes them harmless; ``repro warm`` reports them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .blobs import BlobStore
+from .codec import CODEC, encode_graphs, encode_index, index_method
+from .manifest import (
+    Manifest,
+    StoreError,
+    load_manifest,
+    write_manifest,
+)
+
+__all__ = ["StoreWriter"]
+
+
+class StoreWriter:
+    """Serialize a warm ``DatasetCatalog``/``ShardedCatalog`` to disk.
+
+    ``fail_manifest_after`` is the torn-write fault hook: the manifest
+    write "crashes" after that many bytes (blobs are already
+    published), proving the atomicity claim in tests and the
+    corruption drill.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        fail_manifest_after: Optional[int] = None,
+    ) -> None:
+        self.root = str(root)
+        self.blobs = BlobStore(self.root)
+        self.fail_manifest_after = fail_manifest_after
+
+    # ------------------------------------------------------------------
+    def write_catalog(self, catalog) -> dict:
+        """Persist every persistable dataset of ``catalog``.
+
+        Accepts either catalog flavor; returns a JSON-ready summary
+        (datasets written, blob count/bytes, epoch, skips).
+        """
+        # deferred: repro.service imports repro.store lazily, never at
+        # module level, so this direction cannot cycle at import time
+        from ..service.catalog import DatasetCatalog
+        from ..service.sharding import ShardedCatalog
+
+        if isinstance(catalog, ShardedCatalog):
+            layout, datasets, skipped = self._sharded_records(catalog)
+        elif isinstance(catalog, DatasetCatalog):
+            layout, datasets, skipped = self._unsharded_records(catalog)
+        else:
+            raise TypeError(
+                f"cannot persist {type(catalog).__name__}; expected "
+                "DatasetCatalog or ShardedCatalog"
+            )
+        try:
+            epoch = load_manifest(self.root).epoch + 1
+        except StoreError:
+            epoch = 0
+        manifest = Manifest(
+            epoch=epoch, layout=layout, datasets=datasets
+        )
+        path = write_manifest(
+            self.root, manifest, fail_after=self.fail_manifest_after
+        )
+        written = self.blobs.addresses()
+        referenced = {
+            ref["address"]
+            for rec in datasets.values()
+            for ref in (
+                [rec["graphs"]] + list(rec["indexes"].values())
+            )
+        }
+        return {
+            "path": path,
+            "epoch": epoch,
+            "datasets": sorted(datasets),
+            "skipped_registered": skipped,
+            "blobs": len(written),
+            "unreferenced_blobs": sorted(
+                set(written) - referenced
+            ),
+            "bytes": sum(
+                ref["length"]
+                for rec in datasets.values()
+                for ref in (
+                    [rec["graphs"]] + list(rec["indexes"].values())
+                )
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    def _unsharded_records(self, catalog) -> tuple[dict, dict, list]:
+        layout = {"sharded": False}
+        datasets: dict = {}
+        skipped: list[str] = []
+        for name in catalog.datasets():
+            entry = catalog.get(name)
+            if entry.load_config and entry.load_config[0] == "registered":
+                # registered entries have no named builder to fall back
+                # to on corruption; only load()-originated datasets are
+                # restorable, so only they are persisted
+                skipped.append(name)
+                continue
+            scale, algorithms, ftv_method, max_path_length = (
+                entry.load_config
+            )
+            rec = self._dataset_record(
+                kind=entry.kind,
+                scale=scale,
+                algorithms=algorithms,
+                ftv_method=ftv_method,
+                max_path_length=max_path_length,
+                graphs=entry.graphs,
+            )
+            if entry.kind == "ftv":
+                rec["indexes"]["*"] = self.blobs.put(
+                    encode_index(entry.ftv_index)
+                ).as_dict()
+                rec["ftv_method"] = index_method(entry.ftv_index)
+            datasets[name] = rec
+        return layout, datasets, skipped
+
+    def _sharded_records(self, catalog) -> tuple[dict, dict, list]:
+        layout = {
+            "sharded": True,
+            "num_shards": catalog.num_shards,
+            "assignment": catalog.assignment_strategy,
+            "replicas": catalog.replicas,
+        }
+        datasets: dict = {}
+        for name in catalog.datasets():
+            entry = catalog.get(name)
+            scale, algorithms, ftv_method, max_path_length = (
+                entry._register_config
+            )
+            rec = self._dataset_record(
+                kind=entry.kind,
+                scale=scale,
+                algorithms=algorithms,
+                ftv_method=ftv_method,
+                max_path_length=max_path_length,
+                graphs=entry.graphs,
+            )
+            rec["assignment"] = [
+                list(ids) for ids in entry.assignment
+            ]
+            rec["home_shard"] = entry.home_shard
+            if entry.kind == "ftv":
+                for shard in entry.involved_shards():
+                    sub = entry.shard_entry(shard)
+                    rec["indexes"][str(shard)] = self.blobs.put(
+                        encode_index(sub.ftv_index)
+                    ).as_dict()
+            datasets[name] = rec
+        return layout, datasets, []
+
+    def _dataset_record(
+        self, *, kind, scale, algorithms, ftv_method,
+        max_path_length, graphs,
+    ) -> dict:
+        graphs_ref = self.blobs.put(encode_graphs(graphs))
+        return {
+            "kind": kind,
+            "scale": scale,
+            "algorithms": list(algorithms),
+            "ftv_method": ftv_method,
+            "max_path_length": max_path_length,
+            "codec": CODEC,
+            "graphs": {
+                **graphs_ref.as_dict(), "count": len(graphs),
+            },
+            "indexes": {},
+        }

@@ -133,6 +133,51 @@ class TestTracerRing:
         assert payload["done"] is True
         assert [s["name"] for s in payload["spans"]] == ["ticket", "leg"]
 
+    def test_eviction_mid_flight_keeps_nooping(self):
+        """A trace evicted while its spans are still open must stay a
+        no-op target: later begins/ends/events/finishes land nowhere,
+        raise nothing, and never resurrect the evicted ticket."""
+        tr = Tracer(capacity=2)
+        tr.start(1, 0)
+        leg = tr.begin(1, "leg", 1, shard=0)  # ticket 1 is mid-flight
+        assert leg is not None
+        tr.start(2, 0)
+        tr.start(3, 0)  # capacity boundary: evicts in-flight ticket 1
+        assert tr.get(1) is None
+        assert tr.dropped == 1
+        # the whole span lifecycle keeps no-op'ing on the evicted id
+        tr.end(1, leg, 5, found=True)
+        assert tr.begin(1, "retry", 6) is None
+        assert tr.event(1, "fault_kill", 6) is None
+        tr.finish(1, 7, state="done")
+        assert tr.get(1) is None
+        assert sorted(t.ticket_id for t in tr.traces()) == [2, 3]
+        # survivors are untouched by the evicted ticket's operations
+        assert all(len(t.spans) == 1 for t in tr.traces())
+
+    def test_exactly_at_capacity_keeps_all(self):
+        tr = Tracer(capacity=3)
+        for tid in (1, 2, 3):
+            tr.start(tid, 0)
+        assert tr.dropped == 0
+        assert sorted(t.ticket_id for t in tr.traces()) == [1, 2, 3]
+
+    def test_service_trace_returns_none_not_keyerror(self, ppi_graphs):
+        """``Service.trace`` on an evicted or never-issued ticket id is
+        None — callers (the /trace endpoint's 404 path) rely on it."""
+        svc = ftv_service(shards=1, replicas=1, trace_capacity=1)
+        tickets = []
+        for seed in (9, 11):
+            t = svc.submit(
+                "ppi", a_query(ppi_graphs, seed=seed), options=FTV_OPTS
+            )
+            svc.run_until_idle()
+            tickets.append(t)
+        assert svc.trace(tickets[0].id) is None  # evicted by capacity=1
+        assert svc.trace(tickets[1].id) is not None
+        assert svc.trace(999_999) is None  # never issued
+        assert svc.trace(-999) is None  # synthetic range, never started
+
     def test_service_ring_is_bounded(self, ppi_graphs):
         svc = ftv_service(shards=1, replicas=1, trace_capacity=4)
         run_closed_loop(
@@ -144,6 +189,60 @@ class TestTracerRing:
         assert metrics["dropped"] > 0
         for trace in svc.tracer.traces():
             assert_complete(trace)
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+
+class TestJsonlRoundTrip:
+    def test_span_tree_survives_export_import(
+        self, ppi_graphs, tmp_path
+    ):
+        """Exported JSONL rebuilds byte-identical span trees via
+        ``TicketTrace.from_dict`` — ids, parents, clocks, attrs, and
+        tree shape all survive."""
+        from repro.obs import TicketTrace
+
+        svc = ftv_service()
+        run_closed_loop(
+            svc, "ppi", ftv_streams(ppi_graphs), options=FTV_OPTS,
+            concurrency=2,
+        )
+        dest = tmp_path / "traces.jsonl"
+        count = svc.export_traces(str(dest))
+        lines = dest.read_text().splitlines()
+        assert count == len(lines) > 0
+        originals = {t.ticket_id: t for t in svc.tracer.traces()}
+        for line in lines:
+            doc = json.loads(line)
+            revived = TicketTrace.from_dict(doc)
+            original = originals[revived.ticket_id]
+            assert revived.as_dict() == original.as_dict()
+            assert revived.span_tree() == original.span_tree()
+            assert revived.done == original.done
+
+    def test_open_spans_survive_round_trip(self):
+        """A still-open trace round-trips too: open spans stay open
+        (``done`` False) and the revived trace can keep growing with
+        fresh, non-colliding span ids."""
+        from repro.obs import TicketTrace
+
+        tr = Tracer()
+        tr.start(5, 0, tenant="t0")
+        leg = tr.begin(5, "leg", 1, shard=1)
+        tr.event(5, "fault_kill", 2, parent=leg)
+        original = tr.get(5)
+        assert not original.done
+        revived = TicketTrace.from_dict(original.as_dict())
+        assert revived.as_dict() == original.as_dict()
+        assert not revived.done
+        # the revived trace is live: ids continue past the imported max
+        new_span = revived.begin("retry", 3)
+        assert new_span == max(s.span_id for s in original.spans) + 1
+        revived.end(leg, 4)
+        revived.finish(5)
+        assert revived.done
 
 
 # ----------------------------------------------------------------------
