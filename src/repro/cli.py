@@ -859,6 +859,109 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 # parser
 # ----------------------------------------------------------------------
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Drive the declarative scenario harness: ``list`` the configs in
+    a directory, ``run`` named scenarios (plus the siblings their
+    expect blocks compare against), or ``verify`` the whole matrix —
+    the CI scenario-matrix job is ``repro scenario verify scenarios``.
+
+    Exit codes: 0 = conforms, 1 = an ``expect`` assertion failed,
+    2 = a config cannot load or a scenario cannot run.
+    """
+    import json
+
+    from .scenarios import (
+        ScenarioConfigError,
+        ScenarioError,
+        evaluate_expect,
+        load_scenario_dir,
+        run_with_siblings,
+        verify_scenarios,
+    )
+
+    try:
+        configs = load_scenario_dir(args.dir)
+    except ScenarioConfigError as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+
+    def describe(result) -> str:
+        digest = (
+            f"decisions {result.decisions_digest}"
+            if configs[result.name].workload.decision_only
+            else f"answers {result.answers_digest}"
+        )
+        return (
+            f"{result.name}: {digest}, {result.completed} completed, "
+            f"{result.lost} lost, p95={result.p95}"
+        )
+
+    if args.action == "list":
+        table = Table(
+            f"{len(configs)} scenarios in {args.dir}",
+            ["name", "dataset", "layout", "description"],
+        )
+        for name in sorted(configs):
+            cfg = configs[name]
+            t = cfg.topology
+            flags = [
+                flag
+                for flag, on in (
+                    ("routed", t.shards > 1 and t.routing),
+                    ("rebalance", t.rebalance),
+                    ("chaos", cfg.faults.chaos),
+                    ("corrupt", bool(cfg.faults.store_corruption)),
+                    ("store", cfg.persistence.store),
+                    ("regrow", cfg.persistence.regrow),
+                    ("decision", cfg.workload.decision_only),
+                )
+                if on
+            ]
+            layout = f"{t.shards}x{t.replicas}" + (
+                f" +{'+'.join(flags)}" if flags else ""
+            )
+            table.add_row(name, cfg.dataset, layout, cfg.description)
+        _print(table.render())
+        return 0
+
+    targets = args.names if args.action == "run" else sorted(configs)
+    try:
+        results = run_with_siblings(
+            configs, targets,
+            progress=lambda name: _print(f"running {name} ..."),
+        ) if args.action == "run" else None
+        if results is None:
+            results, failures = verify_scenarios(
+                configs,
+                progress=lambda name: _print(f"running {name} ..."),
+            )
+        else:
+            failures = []
+            for name in targets:
+                failures.extend(
+                    evaluate_expect(configs[name], results[name], results)
+                )
+    except (ScenarioError, ScenarioConfigError) as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+
+    for name in sorted(results):
+        _print(describe(results[name]))
+    if args.action == "run" and args.json:
+        _print(json.dumps(
+            {name: results[name].as_dict() for name in sorted(results)},
+            indent=2, sort_keys=True,
+        ))
+    for line in failures:
+        print(f"FAIL {line}", file=sys.stderr)
+    checked = len(targets)
+    _print(
+        f"{checked} scenario(s) checked, {len(failures)} expect "
+        f"failure(s)"
+    )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -1079,6 +1182,42 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_args(p)
     p.add_argument("--out", default="BENCH_service.json")
     p.set_defaults(fn=cmd_bench_serve)
+
+    p = sub.add_parser(
+        "scenario",
+        help="declarative scenario harness: YAML configs run through "
+             "the conformance runner",
+    )
+    ssub = p.add_subparsers(dest="action", required=True)
+
+    sp = ssub.add_parser(
+        "list", help="list the scenario configs in a directory"
+    )
+    sp.add_argument("dir", nargs="?", default="scenarios",
+                    help="scenario directory (default: scenarios)")
+    sp.set_defaults(fn=cmd_scenario)
+
+    sp = ssub.add_parser(
+        "run",
+        help="run named scenarios (plus the siblings their expect "
+             "blocks reference) and evaluate their expect blocks",
+    )
+    sp.add_argument("names", nargs="+", metavar="NAME")
+    sp.add_argument("--dir", default="scenarios",
+                    help="scenario directory (default: scenarios)")
+    sp.add_argument("--json", action="store_true",
+                    help="also emit every result as JSON (includes "
+                         "the digests to pin in expect blocks)")
+    sp.set_defaults(fn=cmd_scenario)
+
+    sp = ssub.add_parser(
+        "verify",
+        help="run every scenario in a directory and evaluate every "
+             "expect block (the CI scenario-matrix job)",
+    )
+    sp.add_argument("dir", nargs="?", default="scenarios",
+                    help="scenario directory (default: scenarios)")
+    sp.set_defaults(fn=cmd_scenario)
 
     return parser
 

@@ -1,0 +1,78 @@
+"""Seeded random scenario generation for the determinism fuzz suite.
+
+:func:`random_scenario` maps an integer seed to a *small but varied*
+:class:`~repro.scenarios.config.ScenarioConfig` — the cross product
+the satellite names (shards x replicas x routing x coalesce, plus
+decision mode, plan seeding, chaos, tenant counts) at a query volume
+tiny enough that running ~100 of them stays inside a test budget.
+
+Determinism contract: the generator is a pure function of the seed
+(one private ``random.Random``), and every config it emits passes
+schema validation — so ``tests/test_scenario_fuzz.py`` can run each
+config twice and assert identical :meth:`ScenarioResult.fingerprint`
+values without ever persisting a YAML file.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .config import (
+    EngineSpec,
+    FaultSpec,
+    PersistenceSpec,
+    ScenarioConfig,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = ["random_scenario"]
+
+
+def random_scenario(seed: int) -> ScenarioConfig:
+    """A small schema-valid scenario, a pure function of ``seed``."""
+    rng = random.Random(f"scenario-fuzz:{seed}")
+    # FTV collections shard; the NFV single-graph datasets exercise
+    # the unsharded algorithm x rewriting race instead
+    dataset = rng.choice(("yeast", "ppi", "synthetic"))
+    ftv = dataset in ("ppi", "synthetic")
+    shards = rng.choice((1, 2, 3)) if ftv else 1
+    replicas = rng.choice((1, 2)) if shards > 1 else 1
+    chaos = shards >= 2 and replicas >= 2 and rng.random() < 0.5
+    decision_only = ftv and rng.random() < 0.3
+    rebalance = shards >= 2 and not chaos and rng.random() < 0.25
+    sizes = rng.choice(((4, 8), (4, 8, 12), (6,), (8, 4)))
+    return ScenarioConfig(
+        name=f"fuzz-{seed}",
+        dataset=dataset,
+        description=f"seeded fuzz scenario {seed}",
+        scale="tiny",
+        workload=WorkloadSpec(
+            queries=rng.randint(6, 12),
+            tenants=rng.randint(1, 3),
+            sizes=sizes,
+            repeat_fraction=rng.choice((0.0, 0.2, 0.35)),
+            seed=rng.randint(0, 10_000),
+            concurrency=rng.randint(1, 2),
+            decision_only=decision_only,
+            budget=rng.choice((60_000, 200_000)),
+        ),
+        engine=EngineSpec(
+            workers=4,
+            plan_seeding=rng.random() < 0.3,
+            coalesce=rng.random() < 0.8,
+        ),
+        topology=TopologySpec(
+            shards=shards,
+            replicas=replicas,
+            routing=rng.random() < 0.6,
+            assignment=rng.choice(("size_balanced", "hash")),
+            rebalance=rebalance,
+            rebalance_every=3 if rebalance else 0,
+        ),
+        faults=FaultSpec(
+            chaos=chaos,
+            seed=rng.randint(0, 10_000),
+        ),
+        persistence=PersistenceSpec(),
+    )

@@ -1,0 +1,393 @@
+"""The generic conformance runner behind ``repro scenario``.
+
+:class:`ScenarioRunner` turns a :class:`~repro.scenarios.config.
+ScenarioConfig` into a live :class:`~repro.service.Service` through the
+*same* code path the CLI uses (``src/repro/cli.py:_build_service`` and
+friends, via ``ScenarioConfig.to_namespace``), drives it with
+:func:`~repro.service.loadgen.run_closed_loop`, and distils the run
+into a typed :class:`ScenarioResult` — digests, latency summary, and
+every chaos/store/routing counter the ``expect`` vocabulary can
+assert on.
+
+Hermeticity contract: each run clears the process-global prepare
+cache first, so a scenario's counters (and therefore its
+:meth:`ScenarioResult.fingerprint`) are identical whether it runs
+first, last, or twice in one process — the property the fuzz
+determinism suite pins.  Store-mode scenarios warm a catalog of the
+configured layout, persist it via :class:`repro.store.writer.
+StoreWriter` into a throwaway directory, optionally corrupt it
+(:class:`repro.service.faults.StoreFaultInjector` classes named by
+``faults.store_corruption``), and only then boot the service from the
+damaged bytes — the cold-boot drill as data.
+
+:func:`evaluate_expect` checks one scenario's ``expect`` block against
+its result and its sibling results; :func:`verify_scenarios` runs a
+whole config directory once and evaluates every block — the CI
+``scenario-matrix`` job is exactly that call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Mapping, Optional
+
+from .config import ScenarioConfig
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "evaluate_expect",
+    "run_with_siblings",
+    "verify_scenarios",
+]
+
+
+class ScenarioError(RuntimeError):
+    """A scenario that cannot run (as opposed to one that fails its
+    ``expect`` block)."""
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run measured, JSON-ready.
+
+    Every field is a pure function of the config (virtual clock, no
+    wall time anywhere), so :meth:`fingerprint` is a determinism
+    witness: two runs of the same config must produce the same value.
+    """
+
+    name: str
+    answers_digest: str
+    decisions_digest: str
+    results_digest: str
+    completed: int
+    killed: int
+    lost: int
+    degraded: int
+    injected: int
+    retries: int
+    rerouted: int
+    migrations: int
+    rebalances: int
+    regrown: int
+    fanout_waste: int
+    cache_hits: int
+    restores: int
+    rebuilds: int
+    corrupt_detected: int
+    quarantined: int
+    virtual_steps: int
+    per_shard_work: list = field(default_factory=list)
+    latency: Optional[dict] = None
+    #: sha256[:16] over the full ``Service.stats()`` snapshot — the
+    #: whole registry view participates in the determinism claim
+    stats_digest: str = ""
+
+    @property
+    def p95(self) -> Optional[int]:
+        return self.latency.get("p95") if self.latency else None
+
+    def fingerprint(self) -> str:
+        """Digest over every field; equal across identical runs."""
+        payload = json.dumps(
+            asdict(self), sort_keys=True, default=str
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _stats_digest(stats: dict) -> str:
+    """Digest over the stats snapshot minus its approximate parts.
+
+    ``memory`` is sized via ``sys.getsizeof`` and documented as
+    approximate — container resize history makes it vary a few bytes
+    between otherwise identical runs — so it is the one stats section
+    excluded from the determinism claim.
+    """
+    trimmed = {k: v for k, v in stats.items() if k != "memory"}
+    payload = json.dumps(trimmed, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ScenarioRunner:
+    """Build-and-drive one :class:`ScenarioConfig` (see module doc)."""
+
+    def run(self, config: ScenarioConfig) -> ScenarioResult:
+        with tempfile.TemporaryDirectory(
+            prefix=f"scenario-{config.name}-"
+        ) as tmp:
+            return self._run_in(config, tmp)
+
+    # -- internals -----------------------------------------------------
+
+    def _run_in(self, config: ScenarioConfig, tmp: str) -> ScenarioResult:
+        from ..caching import CacheStats, prepare_cache
+        from ..cli import (
+            _build_faults,
+            _build_rebalancer,
+            _build_service,
+            _serve_options,
+        )
+        from ..service import run_closed_loop
+
+        # hermeticity: scenario counters must not depend on what else
+        # ran in this process (see module docstring); clear() bills
+        # its drops as evictions, so the stats reset must come second
+        prepare_cache.clear()
+        prepare_cache.stats = CacheStats()
+        ns = config.to_namespace()
+        if config.persistence.store:
+            ns.store = self._warm_store(config, tmp)
+        try:
+            service, streams = _build_service(ns)
+            rebalancer, every = _build_rebalancer(service, ns)
+            faults = _build_faults(ns)
+            report = run_closed_loop(
+                service,
+                config.dataset,
+                streams,
+                options=_serve_options(ns),
+                concurrency=config.workload.concurrency,
+                rebalancer=rebalancer,
+                rebalance_every=every,
+                faults=faults,
+                regrow=config.persistence.regrow,
+            )
+        except (SystemExit, KeyError, ValueError) as exc:
+            # the CLI helpers reject with SystemExit; the engine
+            # rejects unknown algorithm/rewriting names (free-form in
+            # the schema, resolved lazily mid-run) with KeyError or
+            # ValueError.  Re-raise all three as a scenario error so
+            # callers can render one diagnostic line
+            message = (
+                exc.args[0] if exc.args else exc
+            ) if isinstance(exc, KeyError) else exc
+            raise ScenarioError(
+                f"scenario {config.name!r} cannot run: {message}"
+            ) from exc
+        return self._distil(config, service, report)
+
+    def _warm_store(self, config: ScenarioConfig, tmp: str) -> str:
+        """Warm a catalog of the configured layout, persist it, apply
+        the configured corruption classes, return the store dir."""
+        from ..harness import NFV_DATASETS
+        from ..service.faults import StoreFaultInjector
+        from ..store import StoreWriter
+
+        t = config.topology
+        if t.shards > 1 or t.replicas > 1:
+            from ..service.sharding import ShardedCatalog
+
+            catalog = ShardedCatalog(
+                num_shards=t.shards,
+                assignment=t.assignment,
+                replicas=t.replicas,
+            )
+        else:
+            from ..service.catalog import DatasetCatalog
+
+            catalog = DatasetCatalog()
+        catalog.load(
+            config.dataset,
+            scale=config.scale,
+            **(
+                {"algorithms": config.engine.algorithms}
+                if config.dataset in NFV_DATASETS
+                else {}
+            ),
+        )
+        store_dir = f"{tmp}/store"
+        StoreWriter(store_dir).write_catalog(catalog)
+        if config.faults.store_corruption:
+            injector = StoreFaultInjector(
+                store_dir, seed=config.faults.seed
+            )
+            blob_kinds = (
+                "torn_write", "truncate", "bit_flip", "delete_blob"
+            )
+            for i, kind in enumerate(config.faults.store_corruption):
+                # blob faults take a victim index (spread over distinct
+                # blobs); manifest faults target the one manifest
+                if kind in blob_kinds:
+                    getattr(injector, kind)(i)
+                else:
+                    getattr(injector, kind)()
+        return store_dir
+
+    def _distil(self, config, service, report) -> ScenarioResult:
+        stats = service.stats()
+        store_metrics = service.store_metrics()
+        fault_stats = stats.get("faults") or {}
+        migrations = report.rebalance.get("migrations") or []
+        regrown = (report.store or {}).get("regrown") or []
+        done = report.completed
+        return ScenarioResult(
+            name=config.name,
+            answers_digest=report.answers,
+            decisions_digest=report.decisions,
+            results_digest=report.digest,
+            completed=len(done),
+            killed=sum(1 for t in done if t.result.killed),
+            lost=sum(1 for t in report.tickets if not t.done),
+            degraded=fault_stats.get("degraded", 0),
+            injected=fault_stats.get("injected", 0),
+            retries=fault_stats.get("retries", 0),
+            rerouted=fault_stats.get("rerouted", 0),
+            migrations=len(migrations),
+            rebalances=report.rebalance.get("rebalances", 0),
+            regrown=len(regrown),
+            fanout_waste=stats["fanout_waste"],
+            cache_hits=stats["result_cache"]["hits"],
+            restores=store_metrics.get("restores", 0),
+            rebuilds=store_metrics.get("rebuilds", 0),
+            corrupt_detected=store_metrics.get("corrupt_detected", 0),
+            quarantined=store_metrics.get("quarantined", 0),
+            virtual_steps=report.virtual_steps,
+            per_shard_work=list(stats["per_shard_work"]),
+            latency=stats["latency_steps"],
+            stats_digest=_stats_digest(stats),
+        )
+
+
+# ----------------------------------------------------------------------
+# expect evaluation
+# ----------------------------------------------------------------------
+
+def evaluate_expect(
+    config: ScenarioConfig,
+    result: ScenarioResult,
+    siblings: Mapping[str, ScenarioResult],
+) -> list[str]:
+    """Check ``config.expect`` against ``result``; one line per
+    violated assertion (empty list = the scenario conforms)."""
+    e = config.expect
+    fails: list[str] = []
+
+    def fail(path: str, message: str) -> None:
+        fails.append(f"{config.name}: expect.{path}: {message}")
+
+    def sibling(name: str, path: str) -> Optional[ScenarioResult]:
+        if name not in siblings:
+            fail(path, f"sibling scenario {name!r} was not run")
+            return None
+        return siblings[name]
+
+    if e.answers_digest and result.answers_digest != e.answers_digest:
+        fail(
+            "answers_digest",
+            f"observed {result.answers_digest}, pinned {e.answers_digest}",
+        )
+    if e.decisions_digest and result.decisions_digest != e.decisions_digest:
+        fail(
+            "decisions_digest",
+            f"observed {result.decisions_digest}, "
+            f"pinned {e.decisions_digest}",
+        )
+    for name in e.answers_match:
+        sib = sibling(name, "answers_match")
+        if sib and sib.answers_digest != result.answers_digest:
+            fail(
+                "answers_match",
+                f"answers diverged from {name!r}: "
+                f"{result.answers_digest} != {sib.answers_digest}",
+            )
+    for name in e.decisions_match:
+        sib = sibling(name, "decisions_match")
+        if sib and sib.decisions_digest != result.decisions_digest:
+            fail(
+                "decisions_match",
+                f"decisions diverged from {name!r}: "
+                f"{result.decisions_digest} != {sib.decisions_digest}",
+            )
+    for attr, pin in (
+        ("lost", e.lost), ("killed", e.killed), ("degraded", e.degraded)
+    ):
+        if pin is not None and getattr(result, attr) != pin:
+            fail(attr, f"observed {getattr(result, attr)}, expected {pin}")
+    for key, attr, floor in (
+        ("rerouted_min", "rerouted", e.rerouted_min),
+        ("injected_min", "injected", e.injected_min),
+        ("migrations_min", "migrations", e.migrations_min),
+        ("cache_hits_min", "cache_hits", e.cache_hits_min),
+        ("restores_min", "restores", e.restores_min),
+        ("corrupt_min", "corrupt_detected", e.corrupt_min),
+        ("regrown_min", "regrown", e.regrown_min),
+    ):
+        if floor and getattr(result, attr) < floor:
+            fail(key, f"observed {getattr(result, attr)}, need >= {floor}")
+    if e.waste_below:
+        sib = sibling(e.waste_below, "waste_below")
+        if sib and result.fanout_waste >= sib.fanout_waste:
+            fail(
+                "waste_below",
+                f"fanout_waste {result.fanout_waste} not below "
+                f"{e.waste_below!r}'s {sib.fanout_waste}",
+            )
+    if e.p95_within:
+        sib = sibling(e.p95_within, "p95_within")
+        if sib:
+            if result.p95 is None or sib.p95 is None:
+                fail("p95_within", "latency summary missing")
+            elif result.p95 > sib.p95:
+                fail(
+                    "p95_within",
+                    f"p95 {result.p95} exceeds {e.p95_within!r}'s "
+                    f"{sib.p95}",
+                )
+    return fails
+
+
+# ----------------------------------------------------------------------
+# directory drivers
+# ----------------------------------------------------------------------
+
+def run_with_siblings(
+    configs: Mapping[str, ScenarioConfig],
+    targets: list[str],
+    runner: Optional[ScenarioRunner] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, ScenarioResult]:
+    """Run ``targets`` plus every sibling their expect blocks name
+    (transitively), each exactly once, in sorted-name order."""
+    runner = runner or ScenarioRunner()
+    needed: list[str] = []
+    frontier = list(targets)
+    while frontier:
+        name = frontier.pop(0)
+        if name in needed:
+            continue
+        if name not in configs:
+            raise ScenarioError(f"unknown scenario {name!r}")
+        needed.append(name)
+        frontier.extend(configs[name].expect.siblings())
+    results: dict[str, ScenarioResult] = {}
+    for name in sorted(needed):
+        if progress:
+            progress(name)
+        results[name] = runner.run(configs[name])
+    return results
+
+
+def verify_scenarios(
+    configs: Mapping[str, ScenarioConfig],
+    runner: Optional[ScenarioRunner] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> tuple[dict[str, ScenarioResult], list[str]]:
+    """Run every config once and evaluate every expect block; returns
+    (results by name, conformance failures).  The scenario-matrix CI
+    job fails iff the failure list is non-empty."""
+    results = run_with_siblings(
+        configs, sorted(configs), runner=runner, progress=progress
+    )
+    failures: list[str] = []
+    for name in sorted(configs):
+        failures.extend(
+            evaluate_expect(configs[name], results[name], results)
+        )
+    return results, failures

@@ -1,0 +1,265 @@
+"""A strict stdlib-only parser for the YAML subset scenario configs use.
+
+The container ships no ``pyyaml``; rather than gate the scenario
+harness behind an optional dependency, this module parses exactly the
+dialect ``scenarios/*.yaml`` is written in — and nothing more:
+
+* mappings nested by consistent space indentation (tabs rejected),
+* block lists of scalars (``- item``) and inline lists (``[a, b]``),
+* scalars: ints (``_`` separators allowed), floats, ``true``/``false``,
+  ``null``/``~``, single- or double-quoted strings, bare strings,
+* ``#`` comments outside quotes.
+
+Anything outside the dialect — anchors, block scalars, flow mappings,
+multi-line strings, duplicate keys — is a loud :class:`YamliteError`
+with the offending line number, never a silent guess.  The strictness
+is a feature: a scenario config that does not parse the same way
+everywhere cannot pin a digest.
+
+:func:`dumps` emits the same dialect back (``loads(dumps(x)) == x``
+for JSON-shaped data), which is what keeps
+``ScenarioConfig.to_dict``/``from_dict`` round-trips testable without
+a third-party emitter.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["YamliteError", "loads", "dumps"]
+
+
+class YamliteError(ValueError):
+    """A parse error, carrying the 1-based source line number."""
+
+    def __init__(self, line: int, message: str) -> None:
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+_INT = re.compile(r"^[+-]?\d[\d_]*$")
+_FLOAT = re.compile(r"^[+-]?(\d[\d_]*\.\d*|\.\d+|\d[\d_]*)([eE][+-]?\d+)?$")
+_BARE_SAFE = re.compile(r"^[A-Za-z_][A-Za-z0-9_./+-]*$")
+
+
+def _strip_comment(raw: str, line: int) -> str:
+    """Cut an unquoted ``#`` comment off ``raw``."""
+    quote = ""
+    for i, ch in enumerate(raw):
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+            return raw[:i]
+    if quote:
+        raise YamliteError(line, f"unterminated {quote} quote")
+    return raw
+
+
+def _scalar(text: str, line: int):
+    text = text.strip()
+    if text.startswith(("'", '"')):
+        quote = text[0]
+        if len(text) < 2 or not text.endswith(quote):
+            raise YamliteError(line, f"unterminated {quote} quote")
+        inner = text[1:-1]
+        if quote in inner:
+            raise YamliteError(
+                line, f"embedded {quote} quotes are not supported"
+            )
+        return inner
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise YamliteError(line, "unterminated inline list")
+        body = text[1:-1].strip()
+        if not body:
+            return []
+        return [_scalar(part, line) for part in _split_inline(body, line)]
+    if text.startswith(("{", "&", "*", "|", ">", "%", "@")):
+        raise YamliteError(
+            line, f"unsupported YAML construct {text[0]!r}"
+        )
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("null", "~"):
+        return None
+    if _INT.match(text):
+        return int(text)
+    if _FLOAT.match(text):
+        return float(text)
+    return text
+
+
+def _split_inline(body: str, line: int) -> list[str]:
+    """Split an inline list body on commas outside quotes."""
+    parts, depth, quote, start = [], 0, "", 0
+    for i, ch in enumerate(body):
+        if quote:
+            if ch == quote:
+                quote = ""
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(body[start:i])
+            start = i + 1
+    if depth or quote:
+        raise YamliteError(line, "malformed inline list")
+    parts.append(body[start:])
+    if any(not p.strip() for p in parts):
+        raise YamliteError(line, "empty inline list element")
+    return parts
+
+
+def _rows(text: str) -> list[tuple[int, int, str]]:
+    """(line number, indent, stripped content) per significant line."""
+    rows = []
+    for no, raw in enumerate(text.splitlines(), 1):
+        cut = _strip_comment(raw, no)
+        if not cut.strip():
+            continue
+        indent = len(cut) - len(cut.lstrip(" \t"))
+        if "\t" in cut[:indent]:
+            raise YamliteError(no, "tabs are not allowed in indentation")
+        rows.append((no, indent, cut.strip()))
+    return rows
+
+
+def _parse_block(rows, i: int, indent: int):
+    """Parse one block (mapping or list) at exactly ``indent``."""
+    no, _, content = rows[i]
+    if content == "-" or content.startswith("- "):
+        return _parse_list(rows, i, indent)
+    return _parse_mapping(rows, i, indent)
+
+
+def _parse_list(rows, i: int, indent: int):
+    items = []
+    while i < len(rows) and rows[i][1] == indent:
+        no, _, content = rows[i]
+        if not (content == "-" or content.startswith("- ")):
+            raise YamliteError(
+                no, "mapping key inside a list block"
+            )
+        body = content[1:].strip()
+        if not body:
+            raise YamliteError(no, "nested list blocks are not supported")
+        if ":" in body and _looks_like_key(body):
+            raise YamliteError(
+                no, "mappings inside lists are not supported"
+            )
+        items.append(_scalar(body, no))
+        i += 1
+    if i < len(rows) and rows[i][1] > indent:
+        raise YamliteError(rows[i][0], "unexpected indent inside list")
+    return items, i
+
+
+def _looks_like_key(body: str) -> bool:
+    head = body.split(":", 1)[0].strip()
+    return bool(_BARE_SAFE.match(head)) and not body.startswith(("'", '"'))
+
+
+def _parse_mapping(rows, i: int, indent: int):
+    mapping: dict = {}
+    while i < len(rows) and rows[i][1] == indent:
+        no, _, content = rows[i]
+        if content == "-" or content.startswith("- "):
+            raise YamliteError(no, "list item inside a mapping block")
+        key, sep, rest = content.partition(":")
+        key = key.strip()
+        if not sep or not key or not _BARE_SAFE.match(key):
+            raise YamliteError(no, f"expected 'key: value', got {content!r}")
+        if key in mapping:
+            raise YamliteError(no, f"duplicate key {key!r}")
+        rest = rest.strip()
+        i += 1
+        if rest:
+            mapping[key] = _scalar(rest, no)
+            if i < len(rows) and rows[i][1] > indent:
+                raise YamliteError(
+                    rows[i][0], f"unexpected indent under scalar {key!r}"
+                )
+        else:
+            if i >= len(rows) or rows[i][1] <= indent:
+                raise YamliteError(
+                    no, f"key {key!r} has no value (empty blocks are "
+                    "not supported)"
+                )
+            mapping[key], i = _parse_block(rows, i, rows[i][1])
+    if i < len(rows) and rows[i][1] > indent:
+        raise YamliteError(rows[i][0], "inconsistent indentation")
+    return mapping, i
+
+
+def loads(text: str) -> dict:
+    """Parse ``text``; the top level must be a mapping."""
+    rows = _rows(text)
+    if not rows:
+        raise YamliteError(1, "empty document")
+    if rows[0][1] != 0:
+        raise YamliteError(rows[0][0], "top level must start at column 0")
+    value, i = _parse_block(rows, 0, 0)
+    if i != len(rows):
+        raise YamliteError(rows[i][0], "trailing content")
+    if not isinstance(value, dict):
+        raise YamliteError(rows[0][0], "top level must be a mapping")
+    return value
+
+
+def _dump_scalar(value) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        if _BARE_SAFE.match(value) and value.lower() not in (
+            "true", "false", "null", "~",
+        ) and not _INT.match(value) and not _FLOAT.match(value):
+            return value
+        if '"' in value:
+            raise ValueError(f"cannot dump string with quotes: {value!r}")
+        return f'"{value}"'
+    raise ValueError(f"cannot dump scalar of type {type(value).__name__}")
+
+
+def _dump_block(value, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str) or not _BARE_SAFE.match(key):
+                raise ValueError(f"cannot dump mapping key {key!r}")
+            if isinstance(item, dict):
+                if not item:
+                    raise ValueError(
+                        f"cannot dump empty mapping under {key!r}"
+                    )
+                out.append(f"{pad}{key}:")
+                _dump_block(item, indent + 1, out)
+            elif isinstance(item, (list, tuple)):
+                rendered = ", ".join(_dump_scalar(v) for v in item)
+                out.append(f"{pad}{key}: [{rendered}]")
+            else:
+                out.append(f"{pad}{key}: {_dump_scalar(item)}")
+    else:
+        raise ValueError("dumps expects a mapping at every block level")
+
+
+def dumps(data: dict) -> str:
+    """Emit ``data`` (mappings, scalar lists, scalars) as the dialect
+    :func:`loads` parses; round-trips bit-for-bit for such data."""
+    if not isinstance(data, dict) or not data:
+        raise ValueError("dumps expects a non-empty mapping")
+    out: list[str] = []
+    _dump_block(data, 0, out)
+    return "\n".join(out) + "\n"

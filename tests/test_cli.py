@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO = Path(__file__).resolve().parent.parent
 
 
 def run_cli(capsys, *argv):
@@ -214,3 +221,96 @@ class TestServe:
                 "serve", "--dataset", "yeast", "--scale", "tiny",
                 "--queries", "4", "--concurrency", "0",
             ])
+
+
+QUICK_SCENARIO = (
+    "name: quick\n"
+    "dataset: ppi\n"
+    "scale: tiny\n"
+    "workload:\n"
+    "  queries: 4\n"
+    "  tenants: 1\n"
+    "  budget: 60000\n"
+)
+
+
+class TestScenario:
+    """The ``repro scenario`` surface.
+
+    Error paths run as real subprocesses: the contract under test is
+    the *process* one — non-zero exit codes plus a one-line
+    diagnostic on stderr — which in-process ``main()`` calls cannot
+    fully pin down.
+    """
+
+    def scenario_cli(self, *argv):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "scenario", *argv],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+
+    def test_list_committed_matrix(self, capsys):
+        code, out = run_cli(
+            capsys, "scenario", "list", str(REPO / "scenarios")
+        )
+        assert code == 0
+        assert "baseline-single" in out
+        assert "replicated-chaos" in out
+
+    def test_run_evaluates_sibling_expects(self, capsys):
+        code, out = run_cli(
+            capsys, "scenario", "run", "shard2-unrouted",
+            "--dir", str(REPO / "scenarios"),
+        )
+        assert code == 0
+        # the sibling named by answers_match runs too
+        assert "baseline-single" in out
+        assert "0 expect failure(s)" in out
+
+    def test_missing_directory_exits_2(self):
+        proc = self.scenario_cli("verify", "/no/such/dir")
+        assert proc.returncode == 2
+        diagnostic = proc.stderr.strip().splitlines()
+        assert len(diagnostic) == 1
+        assert diagnostic[0].startswith("scenario: ")
+        assert "not a scenario directory" in diagnostic[0]
+
+    def test_malformed_yaml_exits_2(self, tmp_path):
+        (tmp_path / "bad.yaml").write_text("name: [broken\n")
+        proc = self.scenario_cli("verify", str(tmp_path))
+        assert proc.returncode == 2
+        diagnostic = proc.stderr.strip().splitlines()
+        assert len(diagnostic) == 1
+        assert "bad.yaml:1" in diagnostic[0]
+
+    def test_unknown_key_exits_2_with_dotted_path(self, tmp_path):
+        (tmp_path / "probe.yaml").write_text(
+            QUICK_SCENARIO + "topology:\n  replica: 2\n"
+        )
+        proc = self.scenario_cli("verify", str(tmp_path))
+        assert proc.returncode == 2
+        assert "topology.replica: unknown key" in proc.stderr
+
+    def test_failed_expect_exits_1(self, tmp_path):
+        (tmp_path / "quick.yaml").write_text(
+            QUICK_SCENARIO
+            + "expect:\n  answers_digest: \"00000000000000aa\"\n"
+        )
+        proc = self.scenario_cli("verify", str(tmp_path))
+        assert proc.returncode == 1
+        fails = [
+            ln for ln in proc.stderr.splitlines()
+            if ln.startswith("FAIL ")
+        ]
+        assert len(fails) == 1
+        assert "expect.answers_digest" in fails[0]
+        assert "1 expect failure(s)" in proc.stdout
+
+    def test_unknown_scenario_name_exits_2(self, tmp_path):
+        (tmp_path / "quick.yaml").write_text(QUICK_SCENARIO)
+        proc = self.scenario_cli(
+            "run", "ghost", "--dir", str(tmp_path)
+        )
+        assert proc.returncode == 2
+        assert "ghost" in proc.stderr
