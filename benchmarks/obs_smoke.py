@@ -214,6 +214,8 @@ def socket_equivalence() -> int:
             "latency_steps", "per_shard_work", "fanout_waste",
             "cache_hit_rate", "replicas_live", "queued", "active",
             "degraded", "retries", "throughput_qps",
+            "mutations_applied", "mutations_pending", "journal_lag",
+            "collection_epoch",
         }
         for frame in frames:
             missing = wanted - set(frame)

@@ -741,7 +741,10 @@ def cmd_tail(args: argparse.Namespace) -> int:
                     f"cache={100 * frame['cache_hit_rate']:.0f}% "
                     f"replicas={frame['replicas_live']} "
                     f"queued={frame['queued']} active={frame['active']} "
-                    f"degraded={frame['degraded']}"
+                    f"degraded={frame['degraded']} "
+                    f"mut={frame.get('mutations_applied', 0)}"
+                    f"(+{frame.get('mutations_pending', 0)}) "
+                    f"jlag={frame.get('journal_lag', 0)}"
                 )
                 sys.stdout.flush()
         except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -914,6 +917,9 @@ def cmd_scenario(args: argparse.Namespace) -> int:
                     ("store", cfg.persistence.store),
                     ("regrow", cfg.persistence.regrow),
                     ("decision", cfg.workload.decision_only),
+                    ("mutate", cfg.mutations.count > 0),
+                    ("journal", cfg.mutations.journal),
+                    ("replay", cfg.mutations.crash_replay),
                 )
                 if on
             ]

@@ -121,6 +121,12 @@ class FTVIndex(ABC):
             raise ValueError("max_path_length must be >= 1")
         self.graphs = list(graphs)
         self.max_path_length = max_path_length
+        #: graph ids removed from the live collection.  Stable-id
+        #: discipline: ids are positions in ``graphs`` forever — a
+        #: remove tombstones the slot (postings deleted, candidates
+        #: exclude it) instead of renumbering the survivors, so shard
+        #: assignments, id maps, and step bills stay valid.
+        self.tombstones: set[int] = set()
         self._verifier = VF2Matcher()
         #: shared label interner: the trie and every census speak codes
         self.interner = LabelInterner(g.labels for g in graphs)
@@ -167,6 +173,99 @@ class FTVIndex(ABC):
             key = tuple(seq)
             for gid, count, locations in rows:
                 insert(key, gid, count, frozenset(locations))
+
+    def _index_graph(self, graph_id: int, graph: LabeledGraph) -> None:
+        """Insert one graph's features (the incremental-add unit).
+
+        Subclasses implement this as the body of their ``_build`` loop;
+        :meth:`add_graph` calls it for newcomers so a mutation costs
+        one census DFS, not a collection rewarm.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental adds"
+        )
+
+    # ------------------------------------------------------------------
+    # dynamic collection (incremental index maintenance)
+    # ------------------------------------------------------------------
+
+    def live_ids(self) -> list[int]:
+        """Non-tombstoned graph ids, ascending."""
+        return [
+            gid for gid in range(len(self.graphs))
+            if gid not in self.tombstones
+        ]
+
+    def add_graph(
+        self, graph: LabeledGraph, graph_id: Optional[int] = None
+    ) -> int:
+        """Index ``graph`` incrementally; returns its stable id.
+
+        A fresh add appends (``id == len(graphs)``); passing the id of
+        a tombstoned slot *revives* it (the add→remove→re-add drill).
+        Novel labels extend the interner with appended codes — probe
+        keys are canonicalized in code space, so existing trie nodes
+        and sealed masks stay valid.  Touched trie nodes unseal on
+        insert and reseal on the next :meth:`warm` (or lazily on first
+        probe); the census memo layers are invalidated because stale
+        entries hold negative codes for now-known labels and stale
+        ``candidates`` sets.
+        """
+        if graph_id is None:
+            graph_id = len(self.graphs)
+            self.graphs.append(graph)
+        elif graph_id == len(self.graphs):
+            self.graphs.append(graph)
+        elif 0 <= graph_id < len(self.graphs):
+            if graph_id not in self.tombstones:
+                raise ValueError(
+                    f"graph id {graph_id} is live; remove it before "
+                    "re-adding"
+                )
+            self.graphs[graph_id] = graph
+            self.tombstones.discard(graph_id)
+        else:
+            raise ValueError(
+                f"graph id {graph_id} out of range for "
+                f"{len(self.graphs)} slots"
+            )
+        self.interner.extend([graph.labels])
+        self._index_graph(graph_id, graph)
+        self._invalidate_censuses()
+        return graph_id
+
+    def remove_graph(self, graph_id: int) -> int:
+        """Tombstone ``graph_id``; returns the postings deleted.
+
+        The slot (and the graph object in it) stays, so positional ids
+        never shift; only the index forgets it — every posting is
+        deleted and touched nodes unseal, so no filter can ever emit
+        the id again.
+        """
+        if not 0 <= graph_id < len(self.graphs):
+            raise ValueError(
+                f"graph id {graph_id} out of range for "
+                f"{len(self.graphs)} slots"
+            )
+        if graph_id in self.tombstones:
+            raise ValueError(f"graph id {graph_id} already removed")
+        self.tombstones.add(graph_id)
+        removed = self.trie.remove_graph(graph_id)
+        self._invalidate_censuses()
+        return removed
+
+    def _invalidate_censuses(self) -> None:
+        """Drop every memoized census (collection state changed).
+
+        Stale censuses are dangerous two ways: they hold *negative*
+        codes for labels the collection may now intern, and their
+        ``candidates`` memo may include removed ids.  A fresh token
+        orphans the prepare-cache namespace; the canonical-form LRU
+        and the shape gate are cleared outright.
+        """
+        self._census_token = object()
+        self._canon_census.clear()
+        self._census_shapes.clear()
 
     # ------------------------------------------------------------------
     # online stage

@@ -182,6 +182,34 @@ class LabelInterner:
     def __len__(self) -> int:
         return len(self.code_of)
 
+    def extend(self, label_sets: Iterable[Iterable]) -> int:
+        """Append codes for labels the collection has not seen yet.
+
+        The dynamic-collection hook: an ``add_graph`` may introduce
+        labels, and those get the *next* dense codes (sorted among
+        themselves for determinism) rather than re-sorting the whole
+        space — existing codes never move, so every already-built trie
+        node, sealed mask, and sketch bucket stays valid.  Probe keys
+        are canonicalized in code space on both census paths, so an
+        appended (non-sort-order) code is internally consistent; it
+        merely picks a different — equally valid — canonical direction
+        than a from-scratch interner would.  Returns the number of new
+        labels interned.
+        """
+        fresh = set()
+        for ls in label_sets:
+            for lab in ls:
+                if lab not in self.code_of:
+                    fresh.add(lab)
+        try:
+            ordered = sorted(fresh)
+        except TypeError:  # mixed unsortable labels: repr fallback
+            ordered = sorted(fresh, key=repr)
+        base = len(self.code_of)
+        for offset, lab in enumerate(ordered):
+            self.code_of[lab] = base + offset
+        return len(ordered)
+
     def encode_vertices(self, labels: Sequence) -> tuple[int, ...]:
         """Per-vertex codes; unknown labels get fresh negative codes."""
         code_of = self.code_of

@@ -44,13 +44,16 @@ class GGSXIndex(FTVIndex):
     def _build(self) -> None:
         self.trie = SuffixTrie()
         for gid, graph in enumerate(self.graphs):
-            census = coded_path_census(
-                graph,
-                self.max_path_length,
-                self.interner.encode_vertices(graph.labels),
-            )
-            for seq, count in census.counts.items():
-                self.trie.insert(seq, gid, count)
+            self._index_graph(gid, graph)
+
+    def _index_graph(self, graph_id: int, graph: LabeledGraph) -> None:
+        census = coded_path_census(
+            graph,
+            self.max_path_length,
+            self.interner.encode_vertices(graph.labels),
+        )
+        for seq, count in census.counts.items():
+            self.trie.insert(seq, graph_id, count)
 
     def filter(self, query: LabeledGraph) -> list[int]:
         """Candidates containing every query feature often enough.

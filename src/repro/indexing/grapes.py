@@ -98,16 +98,22 @@ class GrapesIndex(FTVIndex):
     def _build(self) -> None:
         self.trie = PathTrie()
         for gid, graph in enumerate(self.graphs):
-            census = coded_path_census(
-                graph,
-                self.max_path_length,
-                self.interner.encode_vertices(graph.labels),
-                with_locations=True,
+            self._index_graph(gid, graph)
+
+    def _index_graph(self, graph_id: int, graph: LabeledGraph) -> None:
+        census = coded_path_census(
+            graph,
+            self.max_path_length,
+            self.interner.encode_vertices(graph.labels),
+            with_locations=True,
+        )
+        for seq, count in census.counts.items():
+            self.trie.insert(
+                seq,
+                graph_id,
+                count,
+                census.locations.get(seq, frozenset()),
             )
-            for seq, count in census.counts.items():
-                self.trie.insert(
-                    seq, gid, count, census.locations.get(seq, frozenset())
-                )
 
     # ------------------------------------------------------------------
     # online stage

@@ -146,6 +146,35 @@ class FeatureSketch:
             ) - 1
         return cls(tuple(buckets), graph_count, features)
 
+    def patched(self, counts: Mapping[tuple, int]) -> "FeatureSketch":
+        """A new sketch with one graph's census OR-ed in (adds only).
+
+        ``counts`` is the newcomer's census **already in the sketch's
+        collection-wide code space** (canonical coded seq → count).
+        Sketches are monotone under adds — bucket bits only ever gain
+        members — so patching is sound without revisiting the shard's
+        posting lists: every bit set by :meth:`from_postings` over the
+        grown shard is set here too (the newcomer's own features set
+        theirs, all others were set before).  Removes are *not*
+        patched: stale bits are a sound over-approximation (the shard
+        is merely routed to when it could have been pruned), and a
+        :meth:`~repro.service.routing.ShardRouter.refresh` tightens
+        them back whenever the owner chooses.
+        """
+        buckets = list(self.buckets)
+        num_buckets = self.num_buckets
+        fresh = 0
+        for seq, count in counts.items():
+            fresh += 1
+            buckets[bucket_of(seq, num_buckets)] |= (
+                1 << (tier_index(count) + 1)
+            ) - 1
+        return FeatureSketch(
+            tuple(buckets),
+            self.graph_count + 1,
+            self.feature_count + fresh,
+        )
+
     def score(self, counts: Mapping[tuple, int]) -> Optional[tuple[int, int]]:
         """Expected-hit score of a query census, or None when pruned.
 

@@ -125,6 +125,28 @@ class PathTrie:
             posting.merge(count, locations)
         node.thresholds = None
 
+    def remove_graph(self, graph_id: int) -> int:
+        """Delete every posting of ``graph_id`` (dynamic-collection
+        removes).
+
+        Touched nodes drop their threshold masks — the same
+        unseal-on-mutation rule :meth:`insert` applies — so lazy or
+        eager resealing rebuilds them without the departed graph's
+        bit.  Empty nodes are kept: structure is cheap, and a later
+        re-add of the same paths reuses them.  Returns the number of
+        postings deleted.
+        """
+        removed = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if graph_id in node.postings:
+                del node.postings[graph_id]
+                node.thresholds = None
+                removed += 1
+            stack.extend(node.children.values())
+        return removed
+
     def _find(self, seq: LabelSeq) -> _Node | None:
         node = self._root
         for lab in seq:

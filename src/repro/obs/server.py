@@ -395,6 +395,14 @@ class FrontDoor:
             "active": svc.dispatcher.active,
             "degraded": svc.degraded,
             "retries": svc.retries,
+            # dynamic collections: applied-mutation throughput and the
+            # replay-recovery signal (journaled-but-unapplied records)
+            "mutations_applied": svc.mutations_applied,
+            "mutations_pending": len(svc._mutations),
+            "journal_lag": svc.journal_lag(),
+            "collection_epoch": svc.metrics.value(
+                "service.mutations"
+            )["epoch"],
         }
 
     async def _serve_watch(

@@ -25,6 +25,7 @@ from .config import (
     EngineSpec,
     ExpectSpec,
     FaultSpec,
+    MutationSpec,
     PersistenceSpec,
     ScenarioConfig,
     ScenarioConfigError,
@@ -48,6 +49,7 @@ __all__ = [
     "EngineSpec",
     "ExpectSpec",
     "FaultSpec",
+    "MutationSpec",
     "PersistenceSpec",
     "ScenarioConfig",
     "ScenarioConfigError",

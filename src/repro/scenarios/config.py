@@ -37,6 +37,7 @@ __all__ = [
     "EngineSpec",
     "ExpectSpec",
     "FaultSpec",
+    "MutationSpec",
     "PersistenceSpec",
     "ScenarioConfig",
     "ScenarioConfigError",
@@ -58,6 +59,17 @@ STORE_CORRUPTIONS = (
     "version_skew",
     "stale_manifest",
     "duplicate_manifest",
+)
+
+#: journal corruption taxonomy accepted by ``mutations.corrupt`` —
+#: must stay a subset of ``StoreFaultInjector.JOURNAL_CORRUPTIONS``
+#: (asserted in tests); restated here for the same no-import reason
+JOURNAL_CORRUPTIONS = (
+    "journal_torn_tail",
+    "journal_truncate",
+    "journal_bit_flip",
+    "journal_duplicate_record",
+    "journal_reorder_records",
 )
 
 _NAME = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
@@ -371,6 +383,56 @@ class PersistenceSpec:
 
 
 @dataclass(frozen=True)
+class MutationSpec:
+    """The update stream: journaled add/remove mutations interleaved
+    with queries at quiesce points (``count: 0`` = static collection).
+
+    ``journal: true`` write-ahead journals every mutation;
+    ``crash_replay: true`` additionally runs the cold-boot drill after
+    the stream (fresh service, same journal, replay) and compares the
+    replayed collection against the live one; ``corrupt`` names
+    journal corruption classes injected *before* that replay, so the
+    drill proves detection + quarantine instead of digest equality.
+    """
+
+    count: int = 0
+    batch: int = 2
+    every: int = 8
+    seed: int = 7
+    add_fraction: float = 0.6
+    verify_oracle: bool = True
+    journal: bool = False
+    crash_replay: bool = False
+    corrupt: tuple[str, ...] = ()
+
+    _KEYS = (
+        "count", "batch", "every", "seed", "add_fraction",
+        "verify_oracle", "journal", "crash_replay", "corrupt",
+    )
+
+    @classmethod
+    def from_dict(cls, data, path="mutations") -> "MutationSpec":
+        m = _mapping(data, path)
+        _reject_unknown(m, cls._KEYS, path)
+        return cls(
+            count=_get_int(m, "count", path, 0, minimum=0),
+            batch=_get_int(m, "batch", path, 2, minimum=1),
+            every=_get_int(m, "every", path, 8, minimum=1),
+            seed=_get_int(m, "seed", path, 7, minimum=0),
+            add_fraction=_get_float(
+                m, "add_fraction", path, 0.6, lo=0.0, hi=1.0
+            ),
+            verify_oracle=_get_bool(m, "verify_oracle", path, True),
+            journal=_get_bool(m, "journal", path, False),
+            crash_replay=_get_bool(m, "crash_replay", path, False),
+            corrupt=_get_tuple(
+                m, "corrupt", path, (),
+                lambda v, p: _item_str(v, p, choices=JOURNAL_CORRUPTIONS),
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class ExpectSpec:
     """Assertions evaluated against the scenario's result.
 
@@ -381,6 +443,10 @@ class ExpectSpec:
     ``degraded`` are exact counts when present; ``*_min`` are floors;
     ``waste_below``/``p95_within`` compare against a named sibling's
     ``fanout_waste`` (strictly less) and latency p95 (no worse).
+    Mutation runs add ``mutations_applied``/``oracle_mismatches``
+    (exact when present), ``replayed_min``/``journal_corrupt_min``
+    (floors over the crash-replay drill), and ``replay_match`` (the
+    replayed collection must answer identically to the live one).
     """
 
     answers_digest: str = ""
@@ -397,6 +463,11 @@ class ExpectSpec:
     restores_min: int = 0
     corrupt_min: int = 0
     regrown_min: int = 0
+    mutations_applied: int | None = None
+    oracle_mismatches: int | None = None
+    replayed_min: int = 0
+    journal_corrupt_min: int = 0
+    replay_match: bool = False
     waste_below: str = ""
     p95_within: str = ""
 
@@ -404,7 +475,9 @@ class ExpectSpec:
         "answers_digest", "decisions_digest", "answers_match",
         "decisions_match", "lost", "killed", "degraded", "rerouted_min",
         "injected_min", "migrations_min", "cache_hits_min",
-        "restores_min", "corrupt_min", "regrown_min", "waste_below",
+        "restores_min", "corrupt_min", "regrown_min",
+        "mutations_applied", "oracle_mismatches", "replayed_min",
+        "journal_corrupt_min", "replay_match", "waste_below",
         "p95_within",
     )
 
@@ -438,6 +511,13 @@ class ExpectSpec:
             restores_min=_get_int(m, "restores_min", path, 0, minimum=0),
             corrupt_min=_get_int(m, "corrupt_min", path, 0, minimum=0),
             regrown_min=_get_int(m, "regrown_min", path, 0, minimum=0),
+            mutations_applied=_get_opt_int(m, "mutations_applied", path),
+            oracle_mismatches=_get_opt_int(m, "oracle_mismatches", path),
+            replayed_min=_get_int(m, "replayed_min", path, 0, minimum=0),
+            journal_corrupt_min=_get_int(
+                m, "journal_corrupt_min", path, 0, minimum=0
+            ),
+            replay_match=_get_bool(m, "replay_match", path, False),
             waste_below=_get_str(
                 m, "waste_below", path, "", pattern=_NAME
             ),
@@ -466,7 +546,7 @@ class ExpectSpec:
 
 _TOP_KEYS = (
     "name", "description", "dataset", "scale", "workload", "engine",
-    "topology", "faults", "persistence", "expect",
+    "topology", "faults", "persistence", "mutations", "expect",
 )
 
 
@@ -483,6 +563,7 @@ class ScenarioConfig:
     topology: TopologySpec = field(default_factory=TopologySpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
     persistence: PersistenceSpec = field(default_factory=PersistenceSpec)
+    mutations: MutationSpec = field(default_factory=MutationSpec)
     expect: ExpectSpec = field(default_factory=ExpectSpec)
 
     # -- construction --------------------------------------------------
@@ -514,6 +595,7 @@ class ScenarioConfig:
             topology=TopologySpec.from_dict(m.get("topology")),
             faults=FaultSpec.from_dict(m.get("faults")),
             persistence=PersistenceSpec.from_dict(m.get("persistence")),
+            mutations=MutationSpec.from_dict(m.get("mutations")),
             expect=ExpectSpec.from_dict(m.get("expect")),
         )
         cfg._validate_cross()
@@ -523,9 +605,9 @@ class ScenarioConfig:
         """Cross-section rules: a config that loads is one that runs."""
         from ..harness import FTV_DATASETS
 
-        t, f, e, w, p = (
+        t, f, e, w, p, mu = (
             self.topology, self.faults, self.engine, self.workload,
-            self.persistence,
+            self.persistence, self.mutations,
         )
         if f.chaos and (t.shards < 2 or t.replicas < 2):
             raise ScenarioConfigError(
@@ -550,6 +632,63 @@ class ScenarioConfig:
         if p.regrow and t.shards < 2:
             raise ScenarioConfigError(
                 "persistence.regrow", "needs topology.shards >= 2"
+            )
+        if mu.count and self.dataset not in FTV_DATASETS:
+            raise ScenarioConfigError(
+                "mutations.count",
+                "dynamic collections are FTV-only; pick a graph "
+                "collection dataset",
+            )
+        if not mu.count:
+            for key, value in (
+                ("journal", mu.journal),
+                ("crash_replay", mu.crash_replay),
+                ("corrupt", mu.corrupt),
+            ):
+                if value:
+                    raise ScenarioConfigError(
+                        f"mutations.{key}", "needs mutations.count >= 1"
+                    )
+        if mu.crash_replay and not mu.journal:
+            raise ScenarioConfigError(
+                "mutations.crash_replay",
+                "needs mutations.journal: true (nothing to replay)",
+            )
+        if mu.corrupt and not mu.crash_replay:
+            raise ScenarioConfigError(
+                "mutations.corrupt",
+                "needs mutations.crash_replay: true (corruption is "
+                "only observed at replay)",
+            )
+        if mu.count and p.regrow:
+            raise ScenarioConfigError(
+                "persistence.regrow",
+                "not supported alongside a mutation stream",
+            )
+        ex = self.expect
+        if ex.replay_match or ex.replayed_min or ex.journal_corrupt_min:
+            if not mu.crash_replay:
+                raise ScenarioConfigError(
+                    "expect",
+                    "replay assertions need mutations.crash_replay: "
+                    "true",
+                )
+        if ex.replay_match and mu.corrupt:
+            raise ScenarioConfigError(
+                "expect.replay_match",
+                "a corrupted journal cannot replay to equality; assert "
+                "journal_corrupt_min instead",
+            )
+        if ex.mutations_applied is not None and not mu.count:
+            raise ScenarioConfigError(
+                "expect.mutations_applied", "needs mutations.count >= 1"
+            )
+        if ex.oracle_mismatches is not None and not (
+            mu.count and mu.verify_oracle
+        ):
+            raise ScenarioConfigError(
+                "expect.oracle_mismatches",
+                "needs a mutation stream with verify_oracle: true",
             )
         width = (
             len(e.rewritings)
@@ -599,6 +738,7 @@ class ScenarioConfig:
             "topology": section(self.topology),
             "faults": section(self.faults),
             "persistence": section(self.persistence),
+            "mutations": section(self.mutations),
             "expect": {
                 k: v
                 for k, v in section(self.expect).items()

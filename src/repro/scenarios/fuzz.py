@@ -20,6 +20,7 @@ import random
 from .config import (
     EngineSpec,
     FaultSpec,
+    MutationSpec,
     PersistenceSpec,
     ScenarioConfig,
     TopologySpec,
@@ -27,6 +28,25 @@ from .config import (
 )
 
 __all__ = ["random_scenario"]
+
+
+def _random_mutations(seed: int, ftv: bool) -> MutationSpec:
+    """The mutation arm, drawn from its *own* rng stream so adding it
+    left every pre-existing axis draw (and thus every fuzz topology)
+    untouched."""
+    rng = random.Random(f"scenario-fuzz-mutations:{seed}")
+    if not ftv or rng.random() >= 0.35:
+        return MutationSpec()
+    journal = rng.random() < 0.6
+    return MutationSpec(
+        count=rng.randint(3, 8),
+        batch=rng.randint(1, 3),
+        every=rng.choice((3, 6)),
+        seed=rng.randint(0, 10_000),
+        add_fraction=rng.choice((0.4, 0.6, 0.8)),
+        journal=journal,
+        crash_replay=journal and rng.random() < 0.4,
+    )
 
 
 def random_scenario(seed: int) -> ScenarioConfig:
@@ -75,4 +95,5 @@ def random_scenario(seed: int) -> ScenarioConfig:
             seed=rng.randint(0, 10_000),
         ),
         persistence=PersistenceSpec(),
+        mutations=_random_mutations(seed, ftv),
     )

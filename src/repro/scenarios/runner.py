@@ -4,9 +4,12 @@
 ScenarioConfig` into a live :class:`~repro.service.Service` through the
 *same* code path the CLI uses (``src/repro/cli.py:_build_service`` and
 friends, via ``ScenarioConfig.to_namespace``), drives it with
-:func:`~repro.service.loadgen.run_closed_loop`, and distils the run
-into a typed :class:`ScenarioResult` — digests, latency summary, and
-every chaos/store/routing counter the ``expect`` vocabulary can
+:func:`~repro.service.loadgen.run_closed_loop` (or, when the config
+has a ``mutations:`` section, :func:`~repro.service.loadgen.
+run_update_stream` plus the optional crash-replay drill — corrupt the
+journal, reboot cold, replay, compare), and distils the run into a
+typed :class:`ScenarioResult` — digests, latency summary, and every
+chaos/store/routing/mutation counter the ``expect`` vocabulary can
 assert on.
 
 Hermeticity contract: each run clears the process-global prepare
@@ -86,6 +89,18 @@ class ScenarioResult:
     #: sha256[:16] over the full ``Service.stats()`` snapshot — the
     #: whole registry view participates in the determinism claim
     stats_digest: str = ""
+    # -- mutation streams (all zero/None on static scenarios) ----------
+    mutations_applied: int = 0
+    mutations_rejected: int = 0
+    oracle_checks: int = 0
+    oracle_mismatches: int = 0
+    #: crash-replay drill: records re-applied on the cold reboot
+    replayed: int = 0
+    #: journal defect classes recovery detected before replay
+    journal_corrupt_detected: int = 0
+    #: replayed collection answers == live collection answers
+    #: (None = no drill ran)
+    replay_digest_match: Optional[bool] = None
 
     @property
     def p95(self) -> Optional[int]:
@@ -148,17 +163,26 @@ class ScenarioRunner:
             service, streams = _build_service(ns)
             rebalancer, every = _build_rebalancer(service, ns)
             faults = _build_faults(ns)
-            report = run_closed_loop(
-                service,
-                config.dataset,
-                streams,
-                options=_serve_options(ns),
-                concurrency=config.workload.concurrency,
-                rebalancer=rebalancer,
-                rebalance_every=every,
-                faults=faults,
-                regrow=config.persistence.regrow,
-            )
+            if config.mutations.count:
+                report, drill = self._run_mutated(
+                    config, ns, tmp, service, streams,
+                    options=_serve_options(ns),
+                    rebalancer=rebalancer,
+                    faults=faults,
+                )
+            else:
+                drill = None
+                report = run_closed_loop(
+                    service,
+                    config.dataset,
+                    streams,
+                    options=_serve_options(ns),
+                    concurrency=config.workload.concurrency,
+                    rebalancer=rebalancer,
+                    rebalance_every=every,
+                    faults=faults,
+                    regrow=config.persistence.regrow,
+                )
         except (SystemExit, KeyError, ValueError) as exc:
             # the CLI helpers reject with SystemExit; the engine
             # rejects unknown algorithm/rewriting names (free-form in
@@ -171,7 +195,86 @@ class ScenarioRunner:
             raise ScenarioError(
                 f"scenario {config.name!r} cannot run: {message}"
             ) from exc
-        return self._distil(config, service, report)
+        return self._distil(config, service, report, drill)
+
+    def _run_mutated(
+        self, config, ns, tmp, service, streams, *,
+        options, rebalancer, faults,
+    ):
+        """Drive the update-stream path (+ the optional crash drill)."""
+        from ..service.loadgen import (
+            plan_update_stream,
+            run_update_stream,
+        )
+
+        m = config.mutations
+        journal_root = f"{tmp}/journal"
+        if m.journal:
+            service.attach_journal(journal_root)
+        entry = service.catalog.get(config.dataset)
+        base = [entry.graphs[g] for g in entry.live_graph_ids()]
+        ops = plan_update_stream(
+            base, m.count, seed=m.seed, add_fraction=m.add_fraction
+        )
+        report = run_update_stream(
+            service,
+            config.dataset,
+            streams,
+            ops,
+            options=options,
+            concurrency=config.workload.concurrency,
+            mutate_every=m.every,
+            batch=m.batch,
+            probe_seed=m.seed,
+            verify_oracle=m.verify_oracle,
+            rebalancer=rebalancer,
+            faults=faults,
+        )
+        drill = None
+        if m.crash_replay:
+            drill = self._crash_replay(config, ns, journal_root, service)
+        return report, drill
+
+    def _crash_replay(self, config, ns, journal_root, live) -> dict:
+        """The cold-boot drill: corrupt (optionally), reboot, replay.
+
+        A second service is built from the *same* namespace — the same
+        warm store if the scenario has one, the same builders if not —
+        so the only state that survives the simulated crash is the
+        checkpoint plus the journal.  After replay both services must
+        answer an identical probe set identically (unless the journal
+        was deliberately corrupted, in which case the drill instead
+        counts the defect classes recovery detected + quarantined).
+        """
+        from ..cli import _build_service
+        from ..service.faults import StoreFaultInjector
+        from ..service.loadgen import collection_digest
+        from ..workload import generate_workload
+
+        m = config.mutations
+        if m.corrupt:
+            injector = StoreFaultInjector(
+                journal_root, seed=config.faults.seed
+            )
+            for kind in m.corrupt:
+                getattr(injector, kind)()
+        reborn, _ = _build_service(ns)
+        reborn.attach_journal(journal_root)
+        recovery = reborn.replay_journal()
+        entry = reborn.catalog.get(config.dataset)
+        base = [entry.graphs[g] for g in entry.live_graph_ids()]
+        probes = [
+            q.graph
+            for q in generate_workload(base, 6, 3, seed=m.seed + 101)
+        ]
+        return {
+            "replayed": reborn.mutations_replayed,
+            "journal_corrupt_detected": len(recovery.detected),
+            "replay_digest_match": (
+                collection_digest(reborn, config.dataset, probes)
+                == collection_digest(live, config.dataset, probes)
+            ),
+        }
 
     def _warm_store(self, config: ScenarioConfig, tmp: str) -> str:
         """Warm a catalog of the configured layout, persist it, apply
@@ -220,12 +323,17 @@ class ScenarioRunner:
                     getattr(injector, kind)()
         return store_dir
 
-    def _distil(self, config, service, report) -> ScenarioResult:
+    def _distil(
+        self, config, service, report, drill=None
+    ) -> ScenarioResult:
         stats = service.stats()
         store_metrics = service.store_metrics()
         fault_stats = stats.get("faults") or {}
         migrations = report.rebalance.get("migrations") or []
         regrown = (report.store or {}).get("regrown") or []
+        mutations = report.mutations or {}
+        oracle = mutations.get("oracle") or {}
+        drill = drill or {}
         done = report.completed
         return ScenarioResult(
             name=config.name,
@@ -252,6 +360,15 @@ class ScenarioRunner:
             per_shard_work=list(stats["per_shard_work"]),
             latency=stats["latency_steps"],
             stats_digest=_stats_digest(stats),
+            mutations_applied=mutations.get("applied", 0),
+            mutations_rejected=mutations.get("rejected", 0),
+            oracle_checks=oracle.get("checks", 0),
+            oracle_mismatches=oracle.get("mismatches", 0),
+            replayed=drill.get("replayed", 0),
+            journal_corrupt_detected=drill.get(
+                "journal_corrupt_detected", 0
+            ),
+            replay_digest_match=drill.get("replay_digest_match"),
         )
 
 
@@ -306,7 +423,9 @@ def evaluate_expect(
                 f"{result.decisions_digest} != {sib.decisions_digest}",
             )
     for attr, pin in (
-        ("lost", e.lost), ("killed", e.killed), ("degraded", e.degraded)
+        ("lost", e.lost), ("killed", e.killed), ("degraded", e.degraded),
+        ("mutations_applied", e.mutations_applied),
+        ("oracle_mismatches", e.oracle_mismatches),
     ):
         if pin is not None and getattr(result, attr) != pin:
             fail(attr, f"observed {getattr(result, attr)}, expected {pin}")
@@ -318,9 +437,21 @@ def evaluate_expect(
         ("restores_min", "restores", e.restores_min),
         ("corrupt_min", "corrupt_detected", e.corrupt_min),
         ("regrown_min", "regrown", e.regrown_min),
+        ("replayed_min", "replayed", e.replayed_min),
+        (
+            "journal_corrupt_min", "journal_corrupt_detected",
+            e.journal_corrupt_min,
+        ),
     ):
         if floor and getattr(result, attr) < floor:
             fail(key, f"observed {getattr(result, attr)}, need >= {floor}")
+    if e.replay_match and result.replay_digest_match is not True:
+        fail(
+            "replay_match",
+            "replayed collection diverged from the live one"
+            if result.replay_digest_match is False
+            else "no crash-replay drill ran",
+        )
     if e.waste_below:
         sib = sibling(e.waste_below, "waste_below")
         if sib and result.fanout_waste >= sib.fanout_waste:

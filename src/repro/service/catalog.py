@@ -101,6 +101,11 @@ class DatasetEntry:
     load_config: tuple = ()
     #: FTVIndex.warm() statistics (sealed posting-mask nodes etc.)
     warm_stats: dict = field(default_factory=dict)
+    #: the entry diverged from its named builder via add/remove: a
+    #: builder reload would silently discard those mutations, so the
+    #: watermark never evicts a mutated entry (checkpoint + journal
+    #: replay is the only way its state survives a drop)
+    mutated: bool = False
     #: (order, size) checksums taken at load time (freeze witness)
     _shape: tuple[tuple[int, int], ...] = field(default_factory=tuple)
     #: bytes of the frozen graphs / FTV index, computed once at freeze
@@ -144,6 +149,19 @@ class DatasetEntry:
                 f"dataset {self.name!r} mutated after load; "
                 "reload it through the catalog"
             )
+
+    @property
+    def tombstones(self) -> set:
+        """Removed (tombstoned) graph ids — stable ids never renumber."""
+        if self.ftv_index is None:
+            return set()
+        return self.ftv_index.tombstones
+
+    def live_graph_ids(self) -> list:
+        """Non-tombstoned graph ids, ascending."""
+        if self.ftv_index is None:
+            return list(range(len(self.graphs)))
+        return self.ftv_index.live_ids()
 
     def memory_report(self) -> dict:
         """Approximate bytes held by graphs and prepared indexes.
@@ -213,6 +231,11 @@ class DatasetCatalog:
         self.evictions = 0
         #: transparent re-loads of watermark-evicted datasets
         self.reloads = 0
+        #: monotone collection-state version: bumped by every applied
+        #: ``add_graph``/``remove_graph``.  Result-cache and plan-cache
+        #: keys embed it, so a mutation implicitly drops every cached
+        #: answer computed against the previous collection state.
+        self.mutation_epoch = 0
         #: dataset names evicted over the catalog's lifetime, in order
         self.evicted: list[str] = []
         self._entries: dict[str, DatasetEntry] = {}
@@ -389,6 +412,22 @@ class DatasetCatalog:
                 reader.restores += 1
             except StoreError:
                 reader.rebuilds += 1
+            tombs = {int(g) for g in rec.get("tombstones", ())}
+            if tombs:
+                if index is None:
+                    # the blob (and its tombstones) is gone; rebuild
+                    # here so the record's ids can be re-retired —
+                    # _install would otherwise index every slot live
+                    if ftv_method == "Grapes":
+                        index = GrapesIndex(
+                            graphs, max_path_length=max_path_length
+                        )
+                    else:
+                        index = GGSXIndex(
+                            graphs, max_path_length=max_path_length
+                        )
+                for gid in sorted(tombs - index.tombstones):
+                    index.remove_graph(gid)
         return self._install(
             name, graphs, kind, scale, tuple(algorithms), ftv_method,
             max_path_length, config, prebuilt_index=index,
@@ -589,6 +628,81 @@ class DatasetCatalog:
         self._touch(name)
         return entry
 
+    # ------------------------------------------------------------------
+    # dynamic collections (incremental index maintenance)
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self,
+        name: str,
+        graph: LabeledGraph,
+        graph_id: Optional[int] = None,
+    ) -> int:
+        """Add ``graph`` to a live FTV collection; returns its stable id.
+
+        Incremental maintenance, not a rewarm: the newcomer's census is
+        inserted into the existing trie (touched nodes unseal/reseal),
+        novel labels extend the interner with appended codes, and the
+        census memo layers are invalidated.  ``graph_id`` may name a
+        tombstoned slot to revive (journal replay and the
+        add→remove→re-add drill); ``None`` appends.
+        """
+        entry = self._mutable_entry(name)
+        index = entry.ftv_index
+        gid = index.add_graph(graph, graph_id)
+        if gid == len(entry.graphs):
+            entry.graphs.append(graph)
+        else:
+            entry.graphs[gid] = graph
+        self._refresh_after_mutation(entry)
+        return gid
+
+    def remove_graph(self, name: str, graph_id: int) -> None:
+        """Tombstone ``graph_id`` in a live FTV collection.
+
+        The slot keeps its position (stable ids — shard assignments and
+        id maps never shift); the index forgets every posting, and the
+        graph's prepared-index memos are dropped through the prepare
+        cache so the removal shows up in eviction counters.
+        """
+        entry = self._mutable_entry(name)
+        entry.ftv_index.remove_graph(graph_id)
+        from ..caching import prepare_cache
+
+        prepare_cache.evict_graph(entry.graphs[graph_id])
+        self._refresh_after_mutation(entry)
+
+    def _mutable_entry(self, name: str) -> DatasetEntry:
+        entry = self.get(name)
+        if entry.kind != "ftv" or entry.ftv_index is None:
+            raise ValueError(
+                f"dataset {name!r} is not a mutable FTV collection"
+            )
+        return entry
+
+    def _refresh_after_mutation(self, entry: DatasetEntry) -> None:
+        """Re-derive the entry's collection-level state after a mutation.
+
+        Label stats cover the live graphs only; the index reseals
+        eagerly (``warm``) so the next probe pays no lazy seal; the
+        freeze witness is re-taken (a slot's shape may have changed);
+        and registered entries' shape-bearing ``load_config`` is
+        updated so idempotent re-registration keeps working.  Finally
+        the catalog's mutation epoch advances — the cache-key stamp
+        that retires every pre-mutation cached answer.
+        """
+        index = entry.ftv_index
+        live = [entry.graphs[g] for g in index.live_ids()]
+        if live:
+            entry.stats = LabelStats.of_collection(live)
+        entry.warm_stats = index.warm()
+        if entry.load_config and entry.load_config[0] == "registered":
+            shapes = tuple((g.order, g.size) for g in entry.graphs)
+            entry.load_config = entry.load_config[:6] + (shapes,)
+        entry.freeze()
+        entry.mutated = True
+        self.mutation_epoch += 1
+
     def unload(self, name: str) -> None:
         """Drop a dataset (its graphs take their index memos with them).
 
@@ -615,7 +729,9 @@ class DatasetCatalog:
         total = sum(totals.values())
         while total > self.max_bytes:
             victims = [
-                name for name in self._entries if name != protect
+                name
+                for name, entry in self._entries.items()
+                if name != protect and not entry.mutated
             ]
             if not victims:
                 return  # the protected entry alone exceeds the budget

@@ -215,6 +215,17 @@ class StoreFaultInjector:
         "duplicate_manifest",
     )
 
+    #: mutation-journal corruption classes (same matrix, journal rows).
+    #: Separate tuple because their victim is ``JOURNAL.log``, not a
+    #: blob — ``inject`` dispatches both.
+    JOURNAL_CORRUPTIONS = (
+        "journal_torn_tail",
+        "journal_truncate",
+        "journal_bit_flip",
+        "journal_duplicate_record",
+        "journal_reorder_records",
+    )
+
     def __init__(self, root: str, seed: int = 0) -> None:
         self.root = str(root)
         self.rng = random.Random(seed)
@@ -340,14 +351,93 @@ class StoreFaultInjector:
             dst.write(data[: max(1, len(data) // 2)])
         return self._record("duplicate_manifest", path=dup)
 
+    # -- journal corruption -------------------------------------------
+
+    def _journal_path(self) -> str:
+        from ..store.journal import JOURNAL_NAME
+
+        path = os.path.join(self.root, JOURNAL_NAME)
+        if not os.path.exists(path):
+            raise ValueError(
+                f"store at {self.root!r} has no journal"
+            )
+        return path
+
+    def _journal_lines(self) -> tuple[str, list[bytes]]:
+        path = self._journal_path()
+        with open(path, "rb") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        if not lines:
+            raise ValueError(f"journal at {path!r} is empty")
+        return path, lines
+
+    def journal_torn_tail(self, cut: int | None = None) -> dict:
+        """Cut the journal's last record mid-frame — the append a
+        crash interrupted (recovery truncates + quarantines it)."""
+        path, lines = self._journal_lines()
+        tail = lines[-1]
+        k = cut if cut is not None else max(1, len(tail) // 2)
+        with open(path, "rb+") as fh:
+            fh.truncate(sum(len(ln) for ln in lines[:-1]) + k)
+        return self._record("journal_torn_tail", path=path, cut=k)
+
+    def journal_truncate(self, keep_records: int = 0) -> dict:
+        """Truncate the journal to its first ``keep_records`` frames
+        (0 = empty file — every unreplayed mutation lost *loudly*)."""
+        path, lines = self._journal_lines()
+        kept = lines[:keep_records]
+        with open(path, "rb+") as fh:
+            fh.truncate(sum(len(ln) for ln in kept))
+        return self._record(
+            "journal_truncate", path=path, keep_records=len(kept)
+        )
+
+    def journal_bit_flip(self, bit: int | None = None) -> dict:
+        """Flip one bit inside a journal frame's payload (silent media
+        corruption — the frame checksum must catch it)."""
+        path = self._journal_path()
+        size = os.path.getsize(path)
+        if bit is None:
+            bit = self.rng.randrange(size * 8)
+        byte, offset = divmod(bit, 8)
+        with open(path, "rb+") as fh:
+            fh.seek(byte)
+            value = fh.read(1)[0]
+            fh.seek(byte)
+            fh.write(bytes([value ^ (1 << offset)]))
+        return self._record("journal_bit_flip", path=path, bit=bit)
+
+    def journal_duplicate_record(self, index: int = -1) -> dict:
+        """Re-append one frame verbatim (a retried write that landed
+        twice); recovery must apply it once."""
+        path, lines = self._journal_lines()
+        victim = lines[index % len(lines)]
+        with open(path, "ab") as fh:
+            fh.write(victim)
+        return self._record(
+            "journal_duplicate_record", path=path,
+            index=index % len(lines),
+        )
+
+    def journal_reorder_records(self) -> dict:
+        """Swap the journal's last two frames (an out-of-order flush);
+        the seq monotonicity check must refuse the regression."""
+        path, lines = self._journal_lines()
+        if len(lines) < 2:
+            raise ValueError("journal holds fewer than two records")
+        lines[-1], lines[-2] = lines[-2], lines[-1]
+        with open(path, "wb") as fh:
+            fh.write(b"".join(lines))
+        return self._record("journal_reorder_records", path=path)
+
     # -- dispatch ------------------------------------------------------
 
     def inject(self, kind: str, **kwargs) -> dict:
         """Apply one corruption class by name (matrix driver hook)."""
-        if kind not in self.CORRUPTIONS:
+        if kind not in self.CORRUPTIONS + self.JOURNAL_CORRUPTIONS:
             raise ValueError(
                 f"unknown store fault {kind!r}; known: "
-                f"{self.CORRUPTIONS}"
+                f"{self.CORRUPTIONS + self.JOURNAL_CORRUPTIONS}"
             )
         return getattr(self, kind)(**kwargs)
 

@@ -27,9 +27,15 @@ shard layouts of the same workload.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..graphs import LabeledGraph
 from ..metrics import summarize_latencies
 from ..workload import MixedQuery
 from .admission import Ticket, TicketState
@@ -42,7 +48,16 @@ from .service import (
     results_digest,
 )
 
-__all__ = ["LoadReport", "replay", "run_closed_loop"]
+__all__ = [
+    "LoadReport",
+    "MutationOp",
+    "collection_digest",
+    "oracle_digest",
+    "plan_update_stream",
+    "replay",
+    "run_closed_loop",
+    "run_update_stream",
+]
 
 
 @dataclass
@@ -70,6 +85,10 @@ class LoadReport:
     #: persisted store and/or the regrow drill ran (else empty):
     #: reader counters plus one row per replica regrown mid-load
     store: dict = field(default_factory=dict)
+    #: dynamic-collection summary when an update stream rode along
+    #: (else empty): mutation counters, journal state, and the
+    #: per-quiesce-point oracle verdicts
+    mutations: dict = field(default_factory=dict)
 
     @property
     def completed(self) -> list[Ticket]:
@@ -142,6 +161,7 @@ class LoadReport:
             "rebalance": self.rebalance,
             "chaos": self.chaos,
             "store": self.store,
+            "mutations": self.mutations,
         }
 
 
@@ -250,6 +270,321 @@ def replay(
     service.run_until_idle()
     wall = time.perf_counter() - start
     return _report(service, tickets, wall, config or {}, faults=faults)
+
+
+# ----------------------------------------------------------------------
+# dynamic collections: update streams + the rebuild-from-scratch oracle
+# ----------------------------------------------------------------------
+
+@dataclass
+class MutationOp:
+    """One planned collection mutation in an update stream."""
+
+    op: str
+    graph_id: Optional[int] = None
+    graph: Optional[LabeledGraph] = None
+
+
+def plan_update_stream(
+    graphs: list[LabeledGraph],
+    count: int,
+    seed: int = 0,
+    add_fraction: float = 0.6,
+    novel_label_every: int = 4,
+) -> list[MutationOp]:
+    """Expand ``seed`` into a deterministic add/remove plan.
+
+    The plan simulates the collection's live/tombstoned state so every
+    remove targets a live id, roughly ``add_fraction`` of ops are adds,
+    a fraction of adds *revive* a previously removed slot (the
+    add→remove→re-add chain the replay drills care about), and every
+    ``novel_label_every``-th add carries a label the collection has
+    never seen (the interner-extension hazard).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if not 0.0 <= add_fraction <= 1.0:
+        raise ValueError("add_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    pool = sorted({l for g in graphs for l in g.labels}, key=repr)
+    if not pool:
+        raise ValueError("collection has no labels to draw from")
+    if all(isinstance(lab, int) for lab in pool):
+        base = max(pool) + 1
+
+        def novel(k: int):
+            return base + k
+    else:
+        def novel(k: int):
+            return f"nv{k}"
+
+    live = set(range(len(graphs)))
+    tombs: set[int] = set()
+    next_id = len(graphs)
+    adds = 0
+    ops: list[MutationOp] = []
+    for i in range(count):
+        if len(live) > 2 and rng.random() >= add_fraction:
+            gid = sorted(live)[rng.randrange(len(live))]
+            live.discard(gid)
+            tombs.add(gid)
+            ops.append(MutationOp("remove_graph", graph_id=gid))
+            continue
+        if tombs and rng.random() < 0.35:
+            gid = sorted(tombs)[rng.randrange(len(tombs))]
+            tombs.discard(gid)
+        else:
+            gid = next_id
+            next_id += 1
+        live.add(gid)
+        n = rng.randint(5, 9)
+        labels = [rng.choice(pool) for _ in range(n)]
+        adds += 1
+        if novel_label_every and adds % novel_label_every == 0:
+            labels[rng.randrange(n)] = novel(adds)
+        from ..graphs.generators import gnm_graph
+
+        graph = gnm_graph(
+            n, n + rng.randint(1, n), labels, rng, name=f"upd-{i}"
+        )
+        ops.append(MutationOp("add_graph", graph_id=gid, graph=graph))
+    return ops
+
+
+def _ftv_config(entry) -> tuple:
+    """(scale, algorithms, ftv_method, max_path_length) of an entry."""
+    config = getattr(entry, "_register_config", None)
+    if config is None:
+        config = getattr(entry, "load_config", None)
+    if config is None or len(config) != 4:
+        raise ValueError(
+            f"entry {entry.name!r} has no FTV load configuration"
+        )
+    return config
+
+
+def _state_digest(live_rows: list, answers: list) -> str:
+    doc = {"live": live_rows, "answers": answers}
+    raw = json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(raw).hexdigest()
+
+
+def _live_rows(entry) -> list:
+    return [
+        [gid, entry.graphs[gid].order, entry.graphs[gid].size]
+        for gid in entry.live_graph_ids()
+    ]
+
+
+def collection_digest(
+    service: Service, dataset: str, probes: list[LabeledGraph]
+) -> str:
+    """Digest of the *served* collection state: live ids/shapes plus
+    each probe's verified decision answer in global graph ids.
+
+    Layout-invariant by construction — FTV filtering is a per-graph
+    predicate and the digest covers verified answers (not candidate
+    sets, which legitimately differ between a from-scratch interner
+    and an incrementally extended one), so unsharded, sharded+routed,
+    and replicated layouts of the same collection state all hash
+    identically.
+    """
+    entry = service.catalog.get(dataset)
+    if service.sharded:
+        answers = []
+        subs = [
+            (shard, service.catalog.shard_entry(dataset, shard))
+            for shard in entry.involved_shards()
+        ]
+        for probe in probes:
+            ids: set[int] = set()
+            for shard, sub in subs:
+                result = sub.ftv_index.query(probe)
+                ids.update(
+                    entry.assignment[shard][local]
+                    for local in result.matching_ids
+                )
+            answers.append(sorted(ids))
+    else:
+        index = entry.ftv_index
+        answers = [
+            sorted(index.query(probe).matching_ids)
+            for probe in probes
+        ]
+    return _state_digest(_live_rows(entry), answers)
+
+
+def oracle_digest(
+    service: Service, dataset: str, probes: list[LabeledGraph]
+) -> str:
+    """Digest of the rebuild-from-scratch oracle for the same state.
+
+    A fresh index is built over exactly the live graphs (ascending
+    global id) and every probe is answered against it — no journal, no
+    incremental maintenance, no sharding.  Equality with
+    :func:`collection_digest` at a quiesce point is the correctness
+    claim of the whole mutation path.
+    """
+    entry = service.catalog.get(dataset)
+    _scale, _algorithms, ftv_method, max_path_length = _ftv_config(entry)
+    live = entry.live_graph_ids()
+    graphs = [entry.graphs[gid] for gid in live]
+    from ..indexing import GGSXIndex, GrapesIndex
+
+    cls = GrapesIndex if ftv_method == "Grapes" else GGSXIndex
+    index = cls(graphs, max_path_length=max_path_length)
+    answers = [
+        sorted(live[local] for local in index.query(p).matching_ids)
+        for p in probes
+    ]
+    return _state_digest(_live_rows(entry), answers)
+
+
+def _oracle_check(
+    service: Service, dataset: str, probes: list[LabeledGraph]
+) -> dict:
+    served = collection_digest(service, dataset, probes)
+    oracle = oracle_digest(service, dataset, probes)
+    return {
+        "clock": service.clock,
+        "digest": served,
+        "oracle": oracle,
+        "ok": served == oracle,
+    }
+
+
+def run_update_stream(
+    service: Service,
+    dataset: str,
+    streams: dict[str, list[MixedQuery]],
+    mutations: list[MutationOp],
+    options: QueryOptions | None = None,
+    concurrency: int = 1,
+    mutate_every: int = 8,
+    batch: int = 2,
+    probes: Optional[list[LabeledGraph]] = None,
+    probe_seed: int = 0,
+    verify_oracle: bool = True,
+    config: dict | None = None,
+    rebalancer=None,
+    faults=None,
+) -> LoadReport:
+    """Closed-loop queries with a mutation stream woven through.
+
+    Every ``mutate_every`` completions the generator withholds new
+    submissions, lets in-flight work drain to the quiesce point, and
+    submits the next ``batch`` mutations; the following pump applies
+    them (journal-ack first), after which the served collection is
+    digest-compared against the rebuild-from-scratch oracle (when
+    ``verify_oracle``), the rebalancer gets its chance, and the closed
+    loop resumes.  Remaining mutations drain the same way once the
+    query streams are exhausted, and a final oracle check runs at the
+    end — so *every* quiesce point is verified, exactly the acceptance
+    contract.
+
+    ``probes`` defaults to a seeded workload drawn from the initial
+    live graphs plus the planned newcomers, so both pre-existing and
+    added graphs are probed positively.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if faults is not None:
+        service.install_faults(faults)
+    entry = service.catalog.get(dataset)
+    if probes is None and verify_oracle:
+        from ..workload import generate_workload
+
+        base = [entry.graphs[g] for g in entry.live_graph_ids()]
+        added = [op.graph for op in mutations if op.graph is not None]
+        probes = [
+            q.graph
+            for q in generate_workload(base, 6, 3, seed=probe_seed)
+        ]
+        if added:
+            probes += [
+                q.graph
+                for q in generate_workload(
+                    added, 4, 3, seed=probe_seed + 1
+                )
+            ]
+    probes = probes or []
+    ops = deque(mutations)
+    pending = {t: list(s) for t, s in streams.items()}
+    outstanding = {t: 0 for t in streams}
+    tickets: list[Ticket] = []
+    mutation_tickets = []
+    checks: list[dict] = []
+    start = time.perf_counter()
+
+    def feed() -> None:
+        for tenant in sorted(pending):
+            while pending[tenant] and outstanding[tenant] < concurrency:
+                mq = pending[tenant].pop(0)
+                ticket = service.submit(
+                    dataset,
+                    mq.query.graph,
+                    tenant=tenant,
+                    options=options,
+                )
+                tickets.append(ticket)
+                if ticket.done:
+                    continue
+                outstanding[tenant] += 1
+
+    since = 0
+    feed()
+    while True:
+        finished = service.pump()
+        for t in finished:
+            outstanding[t.tenant] -= 1
+        since += len(finished)
+        due = bool(ops) and (
+            since >= mutate_every or not any(pending.values())
+        )
+        if due and service.idle:
+            for _ in range(min(batch, len(ops))):
+                op = ops.popleft()
+                mutation_tickets.append(
+                    service.submit_mutation(
+                        dataset, op.op,
+                        graph=op.graph, graph_id=op.graph_id,
+                    )
+                )
+            service.pump()  # the quiesce point: mutations apply here
+            if verify_oracle:
+                checks.append(_oracle_check(service, dataset, probes))
+            if rebalancer is not None:
+                rebalancer.maybe_rebalance()
+            since = 0
+            feed()
+        elif finished:
+            feed()
+        if service.idle and not any(pending.values()) and not ops:
+            break
+    if verify_oracle:
+        checks.append(_oracle_check(service, dataset, probes))
+    wall = time.perf_counter() - start
+    report = _report(
+        service, tickets, wall, config or {}, rebalancer, faults
+    )
+    report.mutations = {
+        "enabled": True,
+        "planned": len(mutations),
+        "applied": sum(1 for m in mutation_tickets if m.applied),
+        "rejected": sum(1 for m in mutation_tickets if m.rejected),
+        "service": service._mutation_report(),
+        "oracle": {
+            "verified": verify_oracle,
+            "checks": len(checks),
+            "mismatches": sum(1 for c in checks if not c["ok"]),
+            "points": checks,
+        },
+    }
+    return report
 
 
 def run_closed_loop(

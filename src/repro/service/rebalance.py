@@ -35,7 +35,36 @@ from ..obs import Counter, counter_property
 from ..scheduling import skew_ratio
 from .sharding import ShardedCatalog
 
-__all__ = ["Migration", "Rebalancer"]
+__all__ = ["Migration", "Rebalancer", "coldest_shard", "shard_loads"]
+
+
+def shard_loads(catalog: ShardedCatalog, pool_work) -> list[int]:
+    """Per-shard step bills summed over every pool that served each
+    shard (dead replicas' history included — bills are historical)."""
+    return [
+        sum(
+            pool_work[p]
+            for p in catalog.shard_pools(s)
+            if p < len(pool_work)
+        )
+        for s in range(catalog.num_shards)
+    ]
+
+
+def coldest_shard(catalog: ShardedCatalog, loads) -> int:
+    """The least-loaded *serving* shard (ascending id tie-break).
+
+    The one placement rule in the codebase: the rebalancer drains hot
+    shards toward it, and the service places newly added graphs on it,
+    so both paths agree on what "cold" means — a pure function of
+    (per-shard loads, serving set).
+    """
+    serving = [
+        s for s in range(catalog.num_shards) if catalog.replica_ids(s)
+    ]
+    if not serving:
+        raise KeyError("no shard has a serving replica")
+    return min(serving, key=lambda s: (loads[s], s))
 
 
 @dataclass(frozen=True)
@@ -251,7 +280,7 @@ class Rebalancer:
             self.skew_threshold
         ):
             hot = max(serving, key=lambda s: (loads[s], -s))
-            cold = min(serving, key=lambda s: (loads[s], s))
+            cold = coldest_shard(catalog, loads)
             applied = self._migrate(hot, cold, loads)
         scaled = self._scale_replicas(loads, serving)
         if applied or scaled:

@@ -105,6 +105,12 @@ class ShardRouter:
         if index is None:
             self.sketches.pop(shard, None)
             return
+        # a store-restored partition of a mutated collection may intern
+        # labels no live graph carries (interners never shrink through
+        # remove/re-add); extend — never rebuild — so the recode below
+        # stays total and existing router codes never move
+        if self.interner.extend([list(index.interner.code_of)]):
+            self._census_token = object()
         recode = {
             code: self.interner.code_of[label]
             for label, code in index.interner.code_of.items()
@@ -120,6 +126,44 @@ class ShardRouter:
         """Advance the routing-table epoch (rebalance bookkeeping)."""
         self.epoch += 1
         return self.epoch
+
+    def note_add(self, shard: int, graph: LabeledGraph) -> None:
+        """Patch routing state for a graph added to ``shard``.
+
+        Two hazards make this mandatory (not an optimization):
+
+        * a newcomer may carry labels the collection has never seen —
+          the router's interner must extend (appended codes) and every
+          memoized route census must be dropped, because a stale
+          census still holds *negative* codes for those labels and
+          :meth:`plan` would unsoundly collapse the fan-out to a
+          single witness shard;
+        * the shard's sketch must admit the newcomer's features, or a
+          stale veto would prune the only shard that can answer.
+          Sketches are monotone under adds, so a cheap
+          :meth:`FeatureSketch.patched` OR-in is sound — no posting
+          re-fold needed.
+        """
+        self.interner.extend([graph.labels])
+        census = coded_path_census(
+            graph,
+            self.max_path_length,
+            self.interner.encode_vertices(graph.labels),
+        )
+        sketch = self.sketches.get(shard)
+        if sketch is None:
+            sketch = FeatureSketch((0,) * self.num_buckets, 0, 0)
+        self.sketches[shard] = sketch.patched(census.counts)
+        self._census_token = object()
+        self.epoch += 1
+
+    def note_remove(self) -> None:
+        """Account a remove: sketches keep their (now possibly stale)
+        bits — a sound over-approximation that can only route to a
+        shard that would answer empty, never prune one that would
+        answer.  A later :meth:`refresh` tightens the sketch."""
+        self._census_token = object()
+        self.epoch += 1
 
     # ------------------------------------------------------------------
     # query side

@@ -51,11 +51,13 @@ from .cache import CachedResult, ResultCache
 from .catalog import DatasetCatalog, DatasetEntry
 from .dispatcher import Dispatcher, RaceTask
 from .faults import FaultEvent, FaultInjector, ReplicaState
+from .rebalance import coldest_shard, shard_loads
 from .sharding import ShardedCatalog, ShardedEntry, merge_shard_outcomes
 
 __all__ = [
     "QueryOptions",
     "ServiceResult",
+    "MutationTicket",
     "Service",
     "results_digest",
     "answers_digest",
@@ -123,6 +125,44 @@ class ServiceResult:
         if self.winner is None:
             return "killed"
         return self.winner.label
+
+
+@dataclass
+class MutationTicket:
+    """One submitted collection mutation and its lifecycle.
+
+    Mutations are fenced against queries: a submitted mutation stays
+    ``pending`` until a quiesce point (no ticket queued, staged, or
+    racing), is journaled (append + fsync) *before* the catalog is
+    touched, and only acknowledges ``applied`` after both — so a crash
+    at any byte either lost an unacknowledged mutation (the client
+    retries) or left a journaled record replay restores.  Rejections
+    (backlog full, dark shard) carry a ``retry_after`` hint like
+    degraded query tickets.
+    """
+
+    id: int
+    op: str  # "add_graph" | "remove_graph"
+    dataset: str
+    graph: Optional[LabeledGraph] = None
+    graph_id: Optional[int] = None
+    #: requested placement (sharded adds; None = coldest shard)
+    shard: Optional[int] = None
+    submit_time: int = 0
+    apply_time: Optional[int] = None
+    state: str = "pending"  # pending | applied | rejected
+    reason: Optional[str] = None
+    retry_after: Optional[int] = None
+    #: journal sequence the mutation acked through (None = unjournaled)
+    seq: Optional[int] = None
+
+    @property
+    def applied(self) -> bool:
+        return self.state == "applied"
+
+    @property
+    def rejected(self) -> bool:
+        return self.state == "rejected"
 
 
 def results_digest(tickets: list[Ticket]) -> str:
@@ -253,6 +293,9 @@ class Service:
     tasks_failed = counter_property("_m_tasks_failed")
     replicas_retired = counter_property("_m_replicas_retired")
     faults_noop = counter_property("_m_faults_noop")
+    mutations_applied = counter_property("_m_mutations_applied")
+    mutations_replayed = counter_property("_m_mutations_replayed")
+    mutations_rejected = counter_property("_m_mutations_rejected")
 
     def __init__(
         self,
@@ -275,6 +318,8 @@ class Service:
         faults: Optional[FaultInjector] = None,
         trace_capacity: int = 512,
         store=None,
+        journal=None,
+        max_pending_mutations: int = 256,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -418,6 +463,41 @@ class Service:
         self._m_replicas_retired = _c("service.replicas_retired")
         #: injected events that found nothing to act on
         self._m_faults_noop = _c("service.faults_noop")
+        # ---- dynamic collections (journaled mutation path) ----
+        if max_pending_mutations < 1:
+            raise ValueError("max_pending_mutations must be >= 1")
+        #: write-ahead journal mutations ack through (path or
+        #: MutationJournal; None = mutations apply unjournaled and a
+        #: crash loses everything since the last store checkpoint)
+        self.journal = None
+        if journal is not None:
+            from ..store.journal import MutationJournal
+
+            self.journal = (
+                journal
+                if isinstance(journal, MutationJournal)
+                else MutationJournal(journal)
+            )
+        #: pending-mutation backlog cap; beyond it submissions reject
+        #: with a retry_after hint (the quiesce-backpressure answer)
+        self.max_pending_mutations = max_pending_mutations
+        #: submitted mutations awaiting the next quiesce point
+        self._mutations: deque[MutationTicket] = deque()
+        self._next_mutation_id = 1
+        #: crash-injection hook (drills): the next journal append tears
+        #: after this many bytes and raises JournalCrash pre-ack
+        self.journal_fail_after: Optional[int] = None
+        #: applied-seq high-water mark — replay skips seq <= this.  A
+        #: store checkpoint persists it in the manifest layout, so a
+        #: stale journal that survived its checkpoint replays nothing.
+        self._applied_seq = self._checkpoint_seq()
+        self._next_seq = max(
+            self.journal.tail_seq() + 1 if self.journal else 0,
+            self._applied_seq + 1,
+        )
+        self._m_mutations_applied = _c("mutations.applied")
+        self._m_mutations_replayed = _c("mutations.replayed")
+        self._m_mutations_rejected = _c("mutations.rejected")
         #: next synthetic ticket id for non-query trace records (store
         #: boots, replica grows); counts down so it can never collide
         #: with real ticket ids, which are positive
@@ -499,6 +579,12 @@ class Service:
             entry.kind,
             options.signature(entry.kind),
             ticket.budget_steps,
+            # collection-state stamp: every applied add/remove bumps
+            # the catalog's mutation epoch, so a canonical twin served
+            # before a mutation can never answer for one served after
+            # it (constant 0 over a mutation-free run — pure-query
+            # digests are untouched)
+            self._collection_epoch(),
         )
         key = self.cache.key_for(query, context)
         cached = self.cache.lookup(key)
@@ -595,6 +681,10 @@ class Service:
             entry.kind,
             options.variants(entry.kind),
             canon,
+            # same mutation-epoch stamp as the result-cache context: a
+            # plan learned against a previous collection state may seed
+            # a variant subset the grown collection would not pick
+            self._collection_epoch(),
         )
 
     def _race_variants(
@@ -1667,12 +1757,365 @@ class Service:
         self.replicas_retired += 1
         return replica
 
+    # ------------------------------------------------------------------
+    # dynamic collections: journaled mutations at quiesce points
+    # ------------------------------------------------------------------
+
+    def _collection_epoch(self) -> int:
+        """The catalog's monotone mutation-state version (0 = pristine)."""
+        return getattr(self.catalog, "mutation_epoch", 0)
+
+    def _checkpoint_seq(self) -> int:
+        """Journal seq the attached store checkpoint covers (-1 = none)."""
+        reader = getattr(self.catalog, "store", None)
+        if reader is None or reader.manifest is None:
+            return -1
+        try:
+            return int(reader.manifest.layout.get("journal_seq", -1))
+        except (TypeError, ValueError):
+            return -1
+
+    def journal_lag(self) -> int:
+        """Durable journal records not yet applied to the catalog.
+
+        Zero on a healthy running service (append and apply happen in
+        the same quiesce step); positive exactly between a cold boot
+        and :meth:`replay_journal`, which is the operator signal the
+        watch surfaces carry.
+        """
+        if self.journal is None:
+            return 0
+        return max(0, self.journal.tail_seq() - self._applied_seq)
+
+    def attach_journal(self, journal):
+        """Attach (or swap) the write-ahead journal post-construction.
+
+        Same semantics as the ``journal=`` constructor argument: the
+        sequence counters are re-derived from the journal tail and the
+        store checkpoint, so attaching a journal that already holds
+        records leaves them visible to :meth:`replay_journal`.
+        """
+        from ..store.journal import MutationJournal
+
+        self.journal = (
+            journal
+            if isinstance(journal, MutationJournal)
+            else MutationJournal(journal)
+        )
+        self._applied_seq = self._checkpoint_seq()
+        self._next_seq = max(
+            self.journal.tail_seq() + 1, self._applied_seq + 1
+        )
+        return self.journal
+
+    def submit_mutation(
+        self,
+        dataset: str,
+        op: str,
+        graph: Optional[LabeledGraph] = None,
+        graph_id: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> MutationTicket:
+        """Queue one ``add_graph``/``remove_graph``; returns immediately.
+
+        The mutation stays ``pending`` until the service reaches a
+        quiesce point (no query queued, staged, or racing) — mutations
+        never interleave with a fan-out that holds id maps into the
+        old collection state.  A full backlog rejects with a
+        ``retry_after`` hint instead of growing without bound.
+        """
+        if op not in ("add_graph", "remove_graph"):
+            raise ValueError(
+                f"unknown mutation op {op!r}; "
+                "known: add_graph, remove_graph"
+            )
+        if op == "add_graph" and graph is None:
+            raise ValueError("add_graph requires a graph")
+        if op == "remove_graph" and graph_id is None:
+            raise ValueError("remove_graph requires a graph_id")
+        mutation = MutationTicket(
+            id=self._next_mutation_id,
+            op=op,
+            dataset=dataset,
+            graph=graph,
+            graph_id=graph_id,
+            shard=shard,
+            submit_time=self.clock,
+        )
+        self._next_mutation_id += 1
+        if len(self._mutations) >= self.max_pending_mutations:
+            self._reject_mutation(
+                mutation,
+                f"mutation backlog full "
+                f"({self.max_pending_mutations} pending)",
+                retry=True,
+            )
+            return mutation
+        self._mutations.append(mutation)
+        return mutation
+
+    def add_graph(
+        self,
+        dataset: str,
+        graph: LabeledGraph,
+        shard: Optional[int] = None,
+    ) -> MutationTicket:
+        """Convenience: queue an ``add_graph`` mutation."""
+        return self.submit_mutation(
+            dataset, "add_graph", graph=graph, shard=shard
+        )
+
+    def remove_graph(self, dataset: str, graph_id: int) -> MutationTicket:
+        """Convenience: queue a ``remove_graph`` mutation."""
+        return self.submit_mutation(
+            dataset, "remove_graph", graph_id=graph_id
+        )
+
+    def _reject_mutation(
+        self, mutation: MutationTicket, reason: str, retry: bool
+    ) -> None:
+        mutation.state = "rejected"
+        mutation.reason = reason
+        if retry:
+            # same backpressure contract as degraded query tickets:
+            # the condition is environmental (backlog, dark shard) and
+            # a later re-submission may succeed
+            mutation.retry_after = self.clock + self.degraded_retry_after
+        self.mutations_rejected += 1
+
+    def _apply_mutations(self) -> None:
+        """Apply every pending mutation (caller guarantees quiesce)."""
+        while self._mutations:
+            self._apply_mutation(self._mutations.popleft())
+
+    def _plan_mutation(
+        self, mutation: MutationTicket
+    ) -> tuple[int, int]:
+        """Resolve ``(graph_id, shard)`` for one mutation, pre-journal.
+
+        The placement decision is made *before* the journal append so
+        the record pins it — replay reproduces the exact layout
+        whatever the load state at replay time.  Newcomers on a
+        sharded catalog land on the coldest serving shard (the
+        rebalancer's rule, same loads, same tie-break) unless the
+        submitter pinned one; revives keep their slot's shard.
+        Raises KeyError for retryable conditions (dark shard),
+        ValueError for permanent ones (bad op arguments).
+        """
+        try:
+            entry = self.catalog.get(mutation.dataset)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from exc
+        if entry.kind != "ftv":
+            raise ValueError(
+                f"dataset {mutation.dataset!r} is not a mutable FTV "
+                "collection"
+            )
+        if mutation.op == "remove_graph":
+            gid = mutation.graph_id
+            assert gid is not None
+            if not 0 <= gid < len(entry.graphs):
+                raise ValueError(
+                    f"graph id {gid} out of range for "
+                    f"{len(entry.graphs)} slots"
+                )
+            if gid in entry.tombstones:
+                raise ValueError(f"graph id {gid} already removed")
+            if not self.sharded:
+                return gid, -1
+            shard = entry.shard_of(gid)
+            if not self.catalog.replica_ids(shard):
+                raise KeyError(
+                    f"shard {shard} has no serving replica"
+                )
+            return gid, shard
+        gid = (
+            mutation.graph_id
+            if mutation.graph_id is not None
+            else len(entry.graphs)
+        )
+        if gid < len(entry.graphs) and gid not in entry.tombstones:
+            raise ValueError(
+                f"graph id {gid} is live; remove it before re-adding"
+            )
+        if not self.sharded:
+            return gid, -1
+        if gid < len(entry.graphs):
+            shard = entry.shard_of(gid)  # revive keeps its slot
+        elif mutation.shard is not None:
+            shard = mutation.shard
+        else:
+            loads = shard_loads(
+                self.catalog, self.dispatcher.pool_work
+            )
+            shard = coldest_shard(self.catalog, loads)
+        if not self.catalog.replica_ids(shard):
+            raise KeyError(f"shard {shard} has no serving replica")
+        return gid, shard
+
+    def _apply_mutation(
+        self, mutation: MutationTicket, replay: bool = False
+    ) -> None:
+        """Journal-then-apply one mutation; ack or reject it.
+
+        Write-ahead discipline: the record is appended and fsynced
+        *before* the catalog is touched, so the acknowledged state is
+        always a prefix of the durable state.  A crash between append
+        and apply leaves an unacknowledged-but-journaled record —
+        replay applies it, which is exactly why replay must be
+        idempotent.
+        """
+        try:
+            gid, shard = self._plan_mutation(mutation)
+        except KeyError as exc:
+            self._reject_mutation(mutation, str(exc), retry=True)
+            return
+        except ValueError as exc:
+            self._reject_mutation(mutation, str(exc), retry=False)
+            return
+        if self.journal is not None and not replay:
+            from ..graphs.io import graph_to_json
+            from ..store.journal import JournalRecord
+
+            record = JournalRecord(
+                seq=self._next_seq,
+                epoch=self.journal.checkpoints,
+                op=mutation.op,
+                dataset=mutation.dataset,
+                graph_id=gid,
+                shard=shard,
+                graph_json=(
+                    graph_to_json(mutation.graph)
+                    if mutation.op == "add_graph"
+                    else None
+                ),
+            )
+            fail_after, self.journal_fail_after = (
+                self.journal_fail_after, None,
+            )
+            # a JournalCrash here propagates: the simulated process
+            # died pre-ack, so neither catalog nor client saw anything
+            self.journal.append(record, fail_after=fail_after)
+            mutation.seq = record.seq
+            self._next_seq += 1
+        try:
+            if mutation.op == "add_graph":
+                assert mutation.graph is not None
+                if self.sharded:
+                    self.catalog.add_graph(
+                        mutation.dataset, mutation.graph,
+                        shard=shard, graph_id=gid,
+                    )
+                else:
+                    self.catalog.add_graph(
+                        mutation.dataset, mutation.graph, gid
+                    )
+            else:
+                self.catalog.remove_graph(mutation.dataset, gid)
+        except KeyError as exc:
+            self._reject_mutation(mutation, str(exc), retry=True)
+            return
+        if mutation.seq is not None:
+            self._applied_seq = max(self._applied_seq, mutation.seq)
+        mutation.graph_id = gid
+        mutation.shard = shard if self.sharded else None
+        mutation.state = "applied"
+        mutation.apply_time = self.clock
+        if replay:
+            self.mutations_replayed += 1
+        else:
+            self.mutations_applied += 1
+
+    def replay_journal(self):
+        """Recover the journal and re-apply its surviving suffix.
+
+        The cold-boot step: after the catalog restored the last store
+        checkpoint, every journaled record newer than the checkpoint's
+        ``journal_seq`` high-water is re-applied in order.  Recovery
+        first truncates any torn tail (quarantining the evidence);
+        replay skips records at or below the applied high-water, so
+        calling this twice — or crashing mid-replay and replaying
+        again — is identical to calling it once.  Returns the
+        :class:`~repro.store.journal.RecoveryReport`.
+        """
+        if self.journal is None:
+            raise ValueError("service has no journal to replay")
+        from ..graphs.io import graph_from_json
+
+        report = self.journal.recover()
+        for record in report.records:
+            if record.seq <= self._applied_seq:
+                continue
+            mutation = MutationTicket(
+                id=self._next_mutation_id,
+                op=record.op,
+                dataset=record.dataset,
+                graph=(
+                    graph_from_json(record.graph_json)
+                    if record.graph_json is not None
+                    else None
+                ),
+                graph_id=record.graph_id,
+                shard=(
+                    record.shard if record.shard >= 0 else None
+                ),
+                submit_time=self.clock,
+            )
+            self._next_mutation_id += 1
+            self._apply_mutation(mutation, replay=True)
+            self._applied_seq = max(self._applied_seq, record.seq)
+            self._next_seq = max(self._next_seq, record.seq + 1)
+        return report
+
+    def checkpoint_store(self, root) -> dict:
+        """Persist the catalog and fold the journal into the manifest.
+
+        A quiesce-point operation: the manifest records the applied
+        journal high-water (``journal_seq``) *before* the journal is
+        truncated, so a crash between the two leaves a stale journal
+        whose every record the next boot provably skips.
+        """
+        if not self.idle:
+            raise RuntimeError(
+                "checkpoint_store is a quiesce-point operation; the "
+                "service is not idle"
+            )
+        from ..store import StoreWriter
+
+        writer = (
+            root if isinstance(root, StoreWriter) else StoreWriter(root)
+        )
+        return writer.write_catalog(
+            self.catalog,
+            journal=self.journal,
+            journal_seq=self._applied_seq,
+        )
+
+    def _mutation_report(self) -> dict:
+        report = {
+            "applied": self.mutations_applied,
+            "replayed": self.mutations_replayed,
+            "rejected": self.mutations_rejected,
+            "pending": len(self._mutations),
+            "epoch": self._collection_epoch(),
+            "journal_lag": self.journal_lag(),
+        }
+        if self.journal is not None:
+            report["journal"] = self.journal.as_metrics()
+        return report
+
     def pump(self) -> list[Ticket]:
         """One scheduling tick; returns tickets completed this tick
         (coalesced followers resolve alongside their leader, and
         tickets degraded by a fault count as completed-with-refusal so
         closed loops see their slots free up)."""
         self._unwedge_expired()
+        # mutations apply only at quiesce points: no ticket queued,
+        # staged, or racing may observe the collection mid-change
+        # (``_open`` covers leaders; coalesced followers only exist
+        # while their leader is open)
+        if self._mutations and not self._open:
+            self._apply_mutations()
         # hedge overdue routed waves before admitting new work: a
         # first wave that has raced ``hedge_ticks`` without settling
         # forfeits its head start and the remaining shards join in
@@ -1838,12 +2281,14 @@ class Service:
     @property
     def idle(self) -> bool:
         """True when no queued, staged, or running work remains (and
-        no degraded ticket is still waiting to be handed back)."""
+        no degraded ticket is still waiting to be handed back, and no
+        mutation is still waiting for its quiesce point)."""
         return (
             self.dispatcher.active == 0
             and self.admission.queued() == 0
             and not self._staged
             and not self._degraded_now
+            and not self._mutations
         )
 
     def run_until_idle(self, max_ticks: int = 10_000_000) -> list[Ticket]:
@@ -1916,6 +2361,9 @@ class Service:
         g("service.graph_bills", lambda: len(self.graph_bills))
         g("routing.tables", self._routing_tables)
         g("trace.buffer", self.tracer.as_metrics)
+        g("mutations.pending", lambda: len(self._mutations))
+        g("journal.lag", self.journal_lag)
+        g("service.mutations", self._mutation_report)
 
     def _per_shard_work(self) -> list:
         if not self.sharded:

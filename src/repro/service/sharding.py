@@ -59,7 +59,7 @@ the answer invariants above.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import zlib
@@ -132,6 +132,28 @@ def assign_shards(
     )
 
 
+def _valid_assignment(stored, num_shards: int, num_graphs: int) -> bool:
+    """True when ``stored`` is an exact partition of the graph ids.
+
+    The boot-time gate for honoring a manifest's assignment verbatim:
+    every id ``0..num_graphs-1`` appears exactly once across exactly
+    ``num_shards`` rows.  Anything else (wrong shard count, missing or
+    duplicated ids, junk types) is a clean store miss, never an honored
+    layout.
+    """
+    if not isinstance(stored, list) or len(stored) != num_shards:
+        return False
+    seen: list[int] = []
+    for ids in stored:
+        if not isinstance(ids, list):
+            return False
+        for gid in ids:
+            if not isinstance(gid, int) or isinstance(gid, bool):
+                return False
+            seen.append(gid)
+    return sorted(seen) == list(range(num_graphs))
+
+
 @dataclass
 class ShardedEntry:
     """One dataset as the sharded catalog serves it.
@@ -159,6 +181,9 @@ class ShardedEntry:
     _catalog: "ShardedCatalog"
     #: per-shard sketch router (FTV entries only; None = unroutable)
     router: Optional[ShardRouter] = None
+    #: removed (tombstoned) global graph ids — slots keep their shard
+    #: assignment so local→global id maps never shift
+    tombstones: set = field(default_factory=set)
 
     @property
     def num_shards(self) -> int:
@@ -181,6 +206,23 @@ class ShardedEntry:
     def shard_ids(self, shard: int) -> tuple[int, ...]:
         """Global graph ids stored on ``shard`` (local id = position)."""
         return self.assignment[shard]
+
+    def live_graph_ids(self) -> list:
+        """Non-tombstoned global graph ids, ascending."""
+        return [
+            gid for gid in range(len(self.graphs))
+            if gid not in self.tombstones
+        ]
+
+    def shard_of(self, graph_id: int) -> int:
+        """The shard whose partition holds ``graph_id``."""
+        for shard, ids in enumerate(self.assignment):
+            if graph_id in ids:
+                return shard
+        raise ValueError(
+            f"graph id {graph_id} not assigned to any shard of "
+            f"{self.name!r}"
+        )
 
     def shard_entry(
         self, shard: int, replica: Optional[int] = None
@@ -294,6 +336,10 @@ class ShardedCatalog:
         self.rollbacks = 0
         #: partition builds saved by adopting a sibling replica's entry
         self.shared_warm = 0
+        #: monotone collection-state version (see
+        #: :attr:`DatasetCatalog.mutation_epoch`) — one counter for the
+        #: whole sharded catalog, so cache keys are layout-independent
+        self.mutation_epoch = 0
         #: replicas added / released after construction (scaling + kills)
         self.replicas_added = 0
         self.replicas_released = 0
@@ -469,21 +515,39 @@ class ShardedCatalog:
             )
         if record is not None:
             # index blobs were dumped against the manifest's partition;
-            # they are only valid if this catalog partitions the same
-            # way (it should — assignment is a pure function of the
-            # graphs, shard count, and strategy, all matched above)
-            if (
-                record.get("kind") != kind
-                or record.get("assignment")
-                != [list(ids) for ids in assignment]
-            ):
+            # they are only valid against that same partition.  For an
+            # FTV record whose stored assignment is a valid partition
+            # of the restored graphs, the *stored* layout wins: a
+            # mutated collection placed its newcomers by load (the
+            # coldest-shard rule), not by the static strategy, and for
+            # a never-mutated collection the two are identical anyway.
+            stored = record.get("assignment")
+            if record.get("kind") != kind:
                 self.store.misses += 1
                 self.store._event(
                     "assignment_mismatch", dataset=name,
-                    stored=record.get("assignment"),
+                    stored=stored,
                 )
             elif kind == "ftv":
-                self._store_records[name] = record
+                if _valid_assignment(
+                    stored, self.num_shards, len(graphs)
+                ):
+                    assignment = tuple(
+                        tuple(int(g) for g in ids) for ids in stored
+                    )
+                    self._store_records[name] = record
+                else:
+                    self.store.misses += 1
+                    self.store._event(
+                        "assignment_mismatch", dataset=name,
+                        stored=stored,
+                    )
+            elif stored != [list(ids) for ids in assignment]:
+                self.store.misses += 1
+                self.store._event(
+                    "assignment_mismatch", dataset=name,
+                    stored=stored,
+                )
         entry = ShardedEntry(
             name=name,
             scale=scale,
@@ -498,6 +562,19 @@ class ShardedCatalog:
         entry._register_config = (
             scale, tuple(algorithms), ftv_method, max_path_length
         )
+        if name in self._store_records:
+            # collection state rides in the record: ids removed before
+            # the checkpoint stay removed across the cold boot (the
+            # per-shard blobs carry the matching local tombstones)
+            entry.tombstones.update(
+                int(g) for g in record.get("tombstones", ())
+            )
+            if entry.tombstones:
+                live = [
+                    entry.graphs[g] for g in entry.live_graph_ids()
+                ]
+                if live:
+                    entry.stats = LabelStats.of_collection(live)
         if kind == "ftv":
             entry.router = ShardRouter(entry)
         self._entries[name] = entry
@@ -655,7 +732,7 @@ class ShardedCatalog:
                     return catalog.adopt(donor)
             if not prefer_store:
                 index = restore_index()
-        return catalog.register(
+        sub = catalog.register(
             entry.name,
             part,
             kind=entry.kind,
@@ -665,6 +742,32 @@ class ShardedCatalog:
             max_path_length=max_path_length,
             prebuilt_index=index,
         )
+        self._reapply_tombstones(entry, shard, catalog, sub)
+        return sub
+
+    def _reapply_tombstones(
+        self,
+        entry: ShardedEntry,
+        shard: int,
+        catalog: DatasetCatalog,
+        sub: DatasetEntry,
+    ) -> None:
+        """Re-tombstone removed graphs on a freshly (re-)built partition.
+
+        A partition rebuilt from scratch (eviction reload, replica
+        scale-out, rebalance migration) indexes every graph object in
+        the assignment — including slots a ``remove_graph`` already
+        retired.  Tombstones are collection state, not index state, so
+        they are re-applied here before the entry can serve.
+        """
+        if entry.kind != "ftv" or not entry.tombstones:
+            return
+        for local, gid in enumerate(entry.assignment[shard]):
+            if (
+                gid in entry.tombstones
+                and local not in sub.ftv_index.tombstones
+            ):
+                catalog.remove_graph(entry.name, local)
 
     def get(self, name: str) -> ShardedEntry:
         """The sharded entry for ``name`` (KeyError when never loaded)."""
@@ -710,6 +813,138 @@ class ShardedCatalog:
         except KeyError:
             self.reloads += 1
             return self._register_replica(entry, shard, replica)
+
+    # ------------------------------------------------------------------
+    # dynamic collections (incremental index maintenance)
+    # ------------------------------------------------------------------
+
+    def add_graph(
+        self,
+        name: str,
+        graph: LabeledGraph,
+        shard: int,
+        graph_id: Optional[int] = None,
+    ) -> int:
+        """Place ``graph`` on ``shard`` and index it incrementally.
+
+        Callers pick the shard (the service routes newcomers through
+        the rebalancer's coldest-shard rule; journal replay re-applies
+        the recorded placement).  The partition entry is mutated in
+        place, so sibling replicas that adopted the shared object see
+        the newcomer for free; a store-restored replica holding its own
+        build gets the same incremental insert applied to it.  Reviving
+        a tombstoned id ignores ``shard`` in favor of the slot's
+        existing assignment — ids never migrate implicitly.
+        """
+        entry = self.get(name)
+        if entry.kind != "ftv":
+            raise ValueError(
+                f"dataset {name!r} is not a mutable FTV collection"
+            )
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range (catalog has "
+                f"{self.num_shards} shards)"
+            )
+        if graph_id is None:
+            graph_id = len(entry.graphs)
+        if graph_id < len(entry.graphs):
+            if graph_id not in entry.tombstones:
+                raise ValueError(
+                    f"graph id {graph_id} is live; remove it before "
+                    "re-adding"
+                )
+            shard = entry.shard_of(graph_id)
+            local = entry.assignment[shard].index(graph_id)
+            entry.graphs[graph_id] = graph
+            entry.tombstones.discard(graph_id)
+        elif graph_id == len(entry.graphs):
+            entry.graphs.append(graph)
+            entry.assignment = tuple(
+                ids + (graph_id,) if s == shard else ids
+                for s, ids in enumerate(entry.assignment)
+            )
+            local = len(entry.assignment[shard]) - 1
+        else:
+            raise ValueError(
+                f"graph id {graph_id} out of range for "
+                f"{len(entry.graphs)} slots"
+            )
+        for catalog, sub in self._distinct_shard_entries(entry, shard):
+            if (
+                local < len(sub.graphs)
+                and sub.graphs[local] is graph
+                and local not in sub.ftv_index.tombstones
+            ):
+                # this sub was (re-)registered from the already-updated
+                # assignment (eviction reload, previously-empty shard):
+                # it holds the newcomer natively — inserting again would
+                # double-index it
+                continue
+            catalog.add_graph(name, graph, local)
+        self._after_mutation(entry)
+        if entry.router is not None:
+            entry.router.note_add(shard, graph)
+        return graph_id
+
+    def remove_graph(self, name: str, graph_id: int) -> None:
+        """Tombstone ``graph_id`` on its home shard's partitions."""
+        entry = self.get(name)
+        if entry.kind != "ftv":
+            raise ValueError(
+                f"dataset {name!r} is not a mutable FTV collection"
+            )
+        if graph_id in entry.tombstones:
+            raise ValueError(f"graph id {graph_id} already removed")
+        shard = entry.shard_of(graph_id)
+        local = entry.assignment[shard].index(graph_id)
+        for catalog, sub in self._distinct_shard_entries(entry, shard):
+            if local not in sub.ftv_index.tombstones:
+                catalog.remove_graph(name, local)
+        entry.tombstones.add(graph_id)
+        self._after_mutation(entry)
+        if entry.router is not None:
+            entry.router.note_remove()
+
+    def _distinct_shard_entries(
+        self, entry: ShardedEntry, shard: int
+    ) -> list:
+        """Each distinct partition entry object serving ``shard``.
+
+        Sibling replicas normally adopt one shared object (one row);
+        a store-restored replica may hold its own build, and mutations
+        must reach every distinct object or replicas would diverge.
+        """
+        out: list = []
+        seen: set = set()
+        for replica in self.replica_ids(shard):
+            catalog = self.catalog_of(shard, replica)
+            try:
+                sub = catalog.get(entry.name)
+            except KeyError:
+                self.reloads += 1
+                sub = self._register_replica(entry, shard, replica)
+            if id(sub) not in seen:
+                seen.add(id(sub))
+                out.append((catalog, sub))
+        if not out:
+            raise KeyError(
+                f"shard {shard} has no serving replica for "
+                f"{entry.name!r}"
+            )
+        return out
+
+    def _after_mutation(self, entry: ShardedEntry) -> None:
+        """Collection-level bookkeeping after one applied mutation."""
+        live = [entry.graphs[g] for g in entry.live_graph_ids()]
+        if live:
+            entry.stats = LabelStats.of_collection(live)
+        # per-shard index blobs in the store were dumped against the
+        # pre-mutation partition; restoring one now would resurrect a
+        # removed graph or miss an added one, so the records are
+        # dropped until the next checkpoint re-captures the state
+        self._store_records.pop(entry.name, None)
+        self.mutation_epoch += 1
 
     def reassign(
         self,

@@ -33,6 +33,15 @@ from .blobs import (
     sha256_hex,
 )
 from .codec import CODEC, CodecError
+from .journal import (
+    JOURNAL_NAME,
+    JournalCorrupt,
+    JournalCrash,
+    JournalError,
+    JournalRecord,
+    MutationJournal,
+    RecoveryReport,
+)
 from .manifest import (
     MANIFEST_NAME,
     MANIFEST_VERSION,
@@ -53,10 +62,17 @@ __all__ = [
     "BlobStore",
     "CODEC",
     "CodecError",
+    "JOURNAL_NAME",
+    "JournalCorrupt",
+    "JournalCrash",
+    "JournalError",
+    "JournalRecord",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
     "Manifest",
     "ManifestError",
+    "MutationJournal",
+    "RecoveryReport",
     "StoreError",
     "StoreMissing",
     "StoreReader",

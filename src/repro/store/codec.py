@@ -126,13 +126,31 @@ def index_method(index) -> str:
 
 
 def encode_index(index) -> bytes:
-    return _pack({
+    payload = {
         "kind": "index",
         "codec": CODEC,
         "method": index_method(index),
         "max_path_length": index.max_path_length,
         "postings": dump_postings(index.trie),
-    })
+    }
+    # mutated-collection state, emitted only when it diverges from
+    # what a fresh restore would derive — an unmutated index encodes
+    # to the exact same bytes (and content address) as before
+    if index.tombstones:
+        payload["tombstones"] = sorted(index.tombstones)
+    from ..indexing import LabelInterner  # deferred: indexing imports us
+
+    fresh = LabelInterner(g.labels for g in index.graphs)
+    if fresh.code_of != index.interner.code_of:
+        # incremental adds *append* codes for novel labels; a restore
+        # that re-derived codes from the sorted label set would decode
+        # the coded postings against the wrong assignment, so the
+        # dump pins the live code order explicitly
+        payload["labels"] = sorted(
+            index.interner.code_of,
+            key=index.interner.code_of.get,
+        )
+    return _pack(payload)
 
 
 def decode_index(
@@ -176,6 +194,33 @@ def decode_index(
     cls = {"Grapes": GrapesIndex, "GGSX": GGSXIndex}.get(ftv_method)
     if cls is None:
         raise CodecError(f"unknown FTV method {ftv_method!r}")
-    return cls(
+    index = cls(
         graphs, max_path_length=max_path_length, restore=postings
     )
+    labels = obj.get("labels")
+    if labels is not None:
+        # the dump was coded against an incrementally extended
+        # interner; install its exact code order (restore itself never
+        # consults the interner, so a post-construction swap is safe)
+        from ..indexing import LabelInterner
+
+        try:
+            interner = LabelInterner([])
+            interner.code_of = {
+                lab: code for code, lab in enumerate(labels)
+            }
+        except TypeError as exc:
+            raise CodecError(
+                f"index payload labels malformed: {exc}"
+            ) from exc
+        index.interner = interner
+        index._invalidate_censuses()
+    tombstones = obj.get("tombstones")
+    if tombstones:
+        try:
+            index.tombstones = {int(gid) for gid in tombstones}
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"index payload tombstones malformed: {exc}"
+            ) from exc
+    return index

@@ -49,11 +49,24 @@ class StoreWriter:
         self.fail_manifest_after = fail_manifest_after
 
     # ------------------------------------------------------------------
-    def write_catalog(self, catalog) -> dict:
+    def write_catalog(
+        self, catalog, *, journal=None, journal_seq=None
+    ) -> dict:
         """Persist every persistable dataset of ``catalog``.
 
         Accepts either catalog flavor; returns a JSON-ready summary
         (datasets written, blob count/bytes, epoch, skips).
+
+        When a mutation ``journal`` (or an explicit ``journal_seq``
+        high-water) rides along, the manifest's layout records the
+        journal seq this checkpoint covers *before* it is published,
+        and the journal is truncated only *after* the atomic manifest
+        rename.  Replay skips records at or below the recorded seq, so
+        every crash window is safe: before the rename the old manifest
+        (with the old seq) still governs and the suffix replays; after
+        the rename but before the truncate, the new seq already covers
+        every journaled record and replay is a no-op; after the
+        truncate there is nothing to replay.
         """
         # deferred: repro.service imports repro.store lazily, never at
         # module level, so this direction cannot cycle at import time
@@ -69,6 +82,12 @@ class StoreWriter:
                 f"cannot persist {type(catalog).__name__}; expected "
                 "DatasetCatalog or ShardedCatalog"
             )
+        if journal is not None or journal_seq is not None:
+            layout["journal_seq"] = (
+                int(journal_seq)
+                if journal_seq is not None
+                else journal.tail_seq()
+            )
         try:
             epoch = load_manifest(self.root).epoch + 1
         except StoreError:
@@ -79,6 +98,10 @@ class StoreWriter:
         path = write_manifest(
             self.root, manifest, fail_after=self.fail_manifest_after
         )
+        if journal is not None:
+            # manifest is durable; the journaled prefix it covers is
+            # now redundant and the journal restarts empty
+            journal.checkpoint()
         written = self.blobs.addresses()
         referenced = {
             ref["address"]
@@ -87,7 +110,7 @@ class StoreWriter:
                 [rec["graphs"]] + list(rec["indexes"].values())
             )
         }
-        return {
+        summary = {
             "path": path,
             "epoch": epoch,
             "datasets": sorted(datasets),
@@ -104,6 +127,9 @@ class StoreWriter:
                 )
             ),
         }
+        if "journal_seq" in layout:
+            summary["journal_seq"] = layout["journal_seq"]
+        return summary
 
     # ------------------------------------------------------------------
     def _unsharded_records(self, catalog) -> tuple[dict, dict, list]:
@@ -134,6 +160,11 @@ class StoreWriter:
                     encode_index(entry.ftv_index)
                 ).as_dict()
                 rec["ftv_method"] = index_method(entry.ftv_index)
+                if entry.tombstones:
+                    # duplicated outside the index blob so a corrupt
+                    # blob's in-process rebuild can still re-retire
+                    # the removed ids instead of resurrecting them
+                    rec["tombstones"] = sorted(entry.tombstones)
             datasets[name] = rec
         return layout, datasets, skipped
 
@@ -162,6 +193,11 @@ class StoreWriter:
                 list(ids) for ids in entry.assignment
             ]
             rec["home_shard"] = entry.home_shard
+            if getattr(entry, "tombstones", None):
+                # collection state, not index state: the global ids a
+                # remove_graph retired (per-shard blobs carry only
+                # their local projections)
+                rec["tombstones"] = sorted(entry.tombstones)
             if entry.kind == "ftv":
                 for shard in entry.involved_shards():
                     sub = entry.shard_entry(shard)

@@ -37,6 +37,10 @@ def test_generator_covers_the_axis_cross_product():
     assert {c.faults.chaos for c in configs} == {True, False}
     assert {c.workload.decision_only for c in configs} == {True, False}
     assert len({c.name for c in configs}) == len(configs)
+    mutated = [c for c in configs if c.mutations.count]
+    assert mutated and len(mutated) < len(configs)
+    assert any(c.mutations.journal for c in mutated)
+    assert any(c.mutations.crash_replay for c in mutated)
 
 
 @pytest.mark.parametrize("seed", SEEDS)

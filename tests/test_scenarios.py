@@ -38,7 +38,7 @@ from repro.scenarios.yamlite import YamliteError
 
 SCENARIO_DIR = Path(__file__).resolve().parent.parent / "scenarios"
 
-# collection-time load: parses 12 small files, runs nothing
+# collection-time load: parses 14 small files, runs nothing
 SCENARIO_NAMES = sorted(load_scenario_dir(SCENARIO_DIR))
 
 
@@ -182,6 +182,32 @@ class TestSchemaRejections:
             workload={"decision_only": True},
             expect={"answers_match": ["other"]},
         ), "expect.answers_match"),
+        (minimal(dataset="yeast", mutations={"count": 3}),
+         "mutations.count"),
+        (minimal(mutations={"journal": True}), "mutations.journal"),
+        (minimal(mutations={"count": 3, "crash_replay": True}),
+         "mutations.crash_replay"),
+        (minimal(mutations={
+            "count": 3, "journal": True,
+            "corrupt": ["journal_bit_flip"],
+        }), "mutations.corrupt"),
+        (minimal(mutations={"count": 3}, persistence={"regrow": True}),
+         "persistence.regrow"),
+        (minimal(mutations={"count": 3}, expect={"replay_match": True}),
+         "expect"),
+        (minimal(
+            mutations={
+                "count": 3, "journal": True, "crash_replay": True,
+                "corrupt": ["journal_torn_tail"],
+            },
+            expect={"replay_match": True},
+        ), "expect.replay_match"),
+        (minimal(expect={"mutations_applied": 3}),
+         "expect.mutations_applied"),
+        (minimal(
+            mutations={"count": 3, "verify_oracle": False},
+            expect={"oracle_mismatches": 0},
+        ), "expect.oracle_mismatches"),
     ])
     def test_cross_section_rules(self, data, path):
         with pytest.raises(ScenarioConfigError) as err:
@@ -192,6 +218,14 @@ class TestSchemaRejections:
         from repro.service.faults import StoreFaultInjector
 
         assert set(STORE_CORRUPTIONS) <= set(StoreFaultInjector.CORRUPTIONS)
+
+    def test_journal_corruption_taxonomy_matches_injector(self):
+        from repro.scenarios.config import JOURNAL_CORRUPTIONS
+        from repro.service.faults import StoreFaultInjector
+
+        assert set(JOURNAL_CORRUPTIONS) <= set(
+            StoreFaultInjector.JOURNAL_CORRUPTIONS
+        )
 
 
 class TestRoundTrip:
